@@ -1,0 +1,77 @@
+// Command adversary replays the paper's two scripted executions for a
+// chosen scheme (or all schemes) and prints the structured outcome.
+//
+//	adversary -fig1 -scheme hp -k 1000   # Theorem 6.1 lower bound
+//	adversary -fig2 -scheme ibr          # Appendix E incompatibility
+//	adversary -fig1 -fig2                # both, all schemes
+//
+// The -mode flag selects what reclaimed memory does: "unmap" returns it to
+// system space (dangling accesses are simulated segmentation faults),
+// "reuse" recycles it in program space (dangling accesses read another
+// node's data). Type-preserving schemes always run in reuse mode.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core/adversary"
+	"repro/internal/mem"
+	"repro/internal/smr/all"
+)
+
+func main() {
+	fig1 := flag.Bool("fig1", false, "run the Figure 1 / Theorem 6.1 execution")
+	fig2 := flag.Bool("fig2", false, "run the Figure 2 / Appendix E execution")
+	scheme := flag.String("scheme", "", "scheme to test (default: all)")
+	k := flag.Int("k", 600, "Figure 1 churn length")
+	modeName := flag.String("mode", "unmap", `reclaim mode: "unmap" or "reuse"`)
+	flag.Parse()
+
+	if !*fig1 && !*fig2 {
+		*fig1, *fig2 = true, true
+	}
+	mode := mem.Unmap
+	switch *modeName {
+	case "unmap":
+	case "reuse":
+		mode = mem.Reuse
+	default:
+		fmt.Fprintf(os.Stderr, "adversary: unknown mode %q\n", *modeName)
+		os.Exit(1)
+	}
+	schemes := all.Names()
+	if *scheme != "" {
+		schemes = []string{*scheme}
+	}
+
+	fail := false
+	for _, s := range schemes {
+		if *fig1 {
+			o, err := adversary.Figure1(s, *k, mode)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "adversary:", err)
+				os.Exit(1)
+			}
+			fmt.Println(o)
+			if !o.Safe {
+				fail = true
+			}
+		}
+		if *fig2 {
+			o, err := adversary.Figure2(s, mode)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "adversary:", err)
+				os.Exit(1)
+			}
+			fmt.Println(o)
+			if !o.Safe {
+				fail = true
+			}
+		}
+	}
+	if fail && *scheme != "" {
+		os.Exit(2) // a specifically requested scheme violated safety
+	}
+}

@@ -1,0 +1,122 @@
+// Command erabench runs the experiment suite and prints the tables and
+// series recorded in EXPERIMENTS.md.
+//
+//	erabench -exp matrix       # EXP-ERA:     the ERA matrix
+//	erabench -exp space        # EXP-SPACE:   stalled-reader space bounds
+//	erabench -exp stall        # EXP-STALL:   backlog-over-time curves
+//	erabench -exp throughput   # EXP-THRU:    scheme × mix × threads sweep
+//	erabench -exp michael      # EXP-MICHAEL: Harris+EBR vs Michael+HP
+//	erabench -exp all          # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/core/adversary"
+	"repro/internal/mem"
+	"repro/internal/smr/all"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: matrix|space|scale|stall|throughput|structures|michael|all")
+	k := flag.Int("k", 800, "churn length for space/matrix experiments")
+	ops := flag.Int("ops", 20000, "operations per thread for throughput experiments")
+	keyRange := flag.Int("keyrange", 1024, "key universe for throughput experiments")
+	structure := flag.String("structure", "harris", "set structure for the throughput sweep")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		fmt.Printf("==== %s ====\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "erabench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	if want("matrix") {
+		run("EXP-ERA: the ERA matrix (Theorem 6.1)", func() error {
+			return bench.MatrixReport(os.Stdout, *k)
+		})
+	}
+	if want("space") {
+		run(fmt.Sprintf("EXP-SPACE: stalled-reader space bounds (K=%d)", *k), func() error {
+			rows, err := bench.SpaceSweep(*k)
+			if err != nil {
+				return err
+			}
+			bench.WriteSpaceTable(os.Stdout, rows)
+			return nil
+		})
+	}
+	if want("scale") {
+		run("EXP-SCALE: stalled-reader backlog vs structure size (Def 5.1 vs 5.2)", func() error {
+			rows, err := bench.ScaleSweep([]string{"hp", "he", "ibr", "vbr", "nbr", "rc"},
+				[]int{128, 512, 2048})
+			if err != nil {
+				return err
+			}
+			bench.WriteScaleTable(os.Stdout, rows)
+			return nil
+		})
+	}
+	if want("stall") {
+		run("EXP-STALL: retired backlog over time with one stalled reader", func() error {
+			series := make(map[string][]bench.StallSample)
+			for _, scheme := range []string{"ebr", "qsbr", "hp", "ibr", "vbr", "nbr"} {
+				s, err := bench.StallSeries(scheme, 2000, 200)
+				if err != nil {
+					return err
+				}
+				series[scheme] = s
+			}
+			bench.WriteStallSeries(os.Stdout, series)
+			return nil
+		})
+	}
+	if want("throughput") {
+		run(fmt.Sprintf("EXP-THRU: throughput sweep on %s", *structure), func() error {
+			rows, err := bench.ThroughputSweep(*structure, all.SafeNames(),
+				[]bench.Mix{bench.MixReadHeavy, bench.MixBalanced, bench.MixUpdateOnly},
+				[]int{1, 2, 4},
+				bench.ThroughputConfig{OpsPerThread: *ops, KeyRange: *keyRange, Seed: 42})
+			if err != nil {
+				return err
+			}
+			bench.WriteThroughputTable(os.Stdout, rows)
+			return nil
+		})
+	}
+	if want("structures") {
+		run("EXP-EXT: stalled traversal across structures (§6 open question)", func() error {
+			for _, structure := range []string{"harris", "skiplist", "nmtree"} {
+				fmt.Printf("-- %s --\n", structure)
+				for _, scheme := range all.SafeNames() {
+					o, err := adversary.StallTraversal(scheme, structure, *k, mem.Unmap)
+					if err != nil {
+						return err
+					}
+					fmt.Println(o)
+				}
+			}
+			return nil
+		})
+	}
+	if want("michael") {
+		run("EXP-MICHAEL: Harris+EBR vs Michael+HP (delete-heavy)", func() error {
+			rows, err := bench.MichaelComparison(bench.ThroughputConfig{
+				Threads: 2, OpsPerThread: *ops, KeyRange: *keyRange, Seed: 42,
+			})
+			if err != nil {
+				return err
+			}
+			bench.WriteThroughputTable(os.Stdout, rows)
+			return nil
+		})
+	}
+}

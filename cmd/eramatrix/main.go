@@ -1,0 +1,33 @@
+// Command eramatrix builds and prints the ERA matrix: for every
+// reclamation scheme in the repository, the claimed Ease-of-integration /
+// Robustness / Applicability classes and their empirical validation, and
+// the Theorem 6.1 verdict that no row achieves all three.
+//
+// Usage:
+//
+//	eramatrix [-k churn]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	k := flag.Int("k", 600, "Figure 1 churn length used by the measurements")
+	flag.Parse()
+
+	m, err := core.BuildMatrix(*k)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eramatrix:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ERA matrix (Figure 1 churn K=%d; * = measured unbounded, ! = unsafe on Harris)\n\n", m.FigureK)
+	fmt.Print(m.String())
+	if !m.TheoremHolds() {
+		os.Exit(2)
+	}
+}

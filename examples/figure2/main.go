@@ -1,0 +1,59 @@
+// Figure 2: the Appendix E execution, narrated step by step. A thread
+// protects node 15, stalls, and later validates a perfectly stable
+// pointer — yet dereferences reclaimed memory, because protection-based
+// validation (HP, HE, IBR) checks the *source* pointer, and Harris's list
+// traverses logically deleted nodes whose successors can already be gone.
+//
+//	go run ./examples/figure2 [-scheme hp]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/core/adversary"
+	"repro/internal/mem"
+	"repro/internal/smr/all"
+)
+
+func main() {
+	scheme := flag.String("scheme", "", "scheme to run (default: hp, he, ibr, and ebr for contrast)")
+	flag.Parse()
+
+	schemes := []string{"hp", "he", "ibr", "ebr"}
+	if *scheme != "" {
+		schemes = []string{*scheme}
+	}
+
+	k := adversary.Figure2Keys
+	fmt.Println("The Appendix E script:")
+	fmt.Printf("  (a) list = {%d, %d}; T1 starts insert(%d), protects node %d, stalls before reading its next pointer\n",
+		k.A, k.C, k.Insert, k.A)
+	fmt.Printf("  (b) node %d is inserted between %d and %d\n", k.B, k.A, k.C)
+	fmt.Printf("  (c) T2 marks %d, T3 marks %d — neither unlinks\n", k.B, k.A)
+	fmt.Printf("  (d) T4's delete(%d) traversal bulk-unlinks the marked run %d -> %d\n", k.Probe, k.A, k.B)
+	fmt.Printf("      T2 and T3 retire their victims; scans reclaim %d (node %d survives via T1's protection)\n", k.B, k.A)
+	fmt.Printf("  (e) T1 resumes: reads %d's next pointer (stable!), validates, dereferences node %d\n\n", k.A, k.B)
+
+	for _, s := range schemes {
+		if _, err := all.Props(s); err != nil {
+			log.Fatal(err)
+		}
+		o, err := adversary.Figure2(s, mem.Unmap)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(" ", o)
+		switch {
+		case o.Faults > 0:
+			fmt.Printf("    -> %s dereferenced system space: a segmentation fault in a real system\n", s)
+		case o.StaleUses > 0:
+			fmt.Printf("    -> %s handed a reclaimed node's contents to the list: silent corruption in a real system\n", s)
+		case o.Restarts > 0 || o.Neutralizations > 0:
+			fmt.Printf("    -> %s detected the stale access and rolled the operation back\n", s)
+		default:
+			fmt.Printf("    -> %s never reclaimed node %d while T1 could reach it\n", s, k.B)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// Stall robustness: the Figure 1 experiment as a narrative. One thread
+// stalls at the start of a Harris-list traversal while another churns
+// insert/delete pairs; the retired-node backlog separates the robustness
+// classes of Definition 5.1/5.2:
+//
+//   - EBR/QSBR: the stalled thread pins the epoch — the backlog grows
+//     without bound (not even weakly robust).
+//   - HP/HE/IBR: the backlog stays bounded... but resuming the stalled
+//     thread dereferences reclaimed memory (not applicable to this list).
+//   - VBR/NBR: bounded backlog and a safe resume — bought with rollbacks
+//     (not easily integrated). That three-way split is the ERA theorem.
+//
+//	go run ./examples/stallrobustness [-k 2000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/core/adversary"
+	"repro/internal/mem"
+	"repro/internal/smr/all"
+)
+
+func main() {
+	k := flag.Int("k", 2000, "churn length (insert/delete pairs)")
+	flag.Parse()
+
+	fmt.Printf("Theorem 6.1 workload: T1 stalls mid-traversal, T2 churns %d insert/delete pairs.\n", *k)
+	fmt.Printf("The data structure never exceeds 4 active nodes (max_active = 4).\n\n")
+	fmt.Printf("%-11s %-9s %-12s %13s %9s %9s %9s\n",
+		"scheme", "verdict", "backlog", "peak-retired", "faults", "restarts", "neutral.")
+
+	for _, scheme := range all.Names() {
+		o, err := adversary.Figure1(scheme, *k, mem.Unmap)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict, growth := "safe", "bounded"
+		if !o.Safe {
+			verdict = "UNSAFE"
+		}
+		if !o.Bounded {
+			growth = "UNBOUNDED"
+		}
+		fmt.Printf("%-11s %-9s %-12s %13d %9d %9d %9d\n",
+			scheme, verdict, growth, o.PeakRetired, o.Faults, o.Restarts, o.Neutralizations)
+	}
+
+	fmt.Println("\nReading the table with the ERA theorem:")
+	fmt.Println("  safe + UNBOUNDED  -> easy + applicable, not robust      (EBR, QSBR, RC, none)")
+	fmt.Println("  UNSAFE + bounded  -> easy + robust, not applicable here (HP, HE, IBR)")
+	fmt.Println("  safe + bounded    -> robust + applicable, rollbacks     (VBR, NBR)")
+}

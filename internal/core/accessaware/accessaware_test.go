@@ -1,0 +1,219 @@
+package accessaware_test
+
+import (
+	"testing"
+
+	"repro/internal/core/accessaware"
+	"repro/internal/ds"
+	"repro/internal/ds/harris"
+	"repro/internal/ds/michael"
+	"repro/internal/mem"
+	"repro/internal/smr"
+	"repro/internal/smr/all"
+)
+
+func tracingEnv(t *testing.T, scheme string, n int) (*mem.Arena, smr.Scheme) {
+	t.Helper()
+	a := mem.NewArena(mem.Config{
+		Slots: 1 << 12, PayloadWords: 2, MetaWords: smr.MetaWords,
+		Threads: n, Mode: mem.Reuse, Trace: true,
+	})
+	s, err := all.New(scheme, a, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, s
+}
+
+// TestHarrisAccessAware mechanically replays Appendix D: every Harris
+// operation, traced, respects the read/write phase discipline.
+func TestHarrisAccessAware(t *testing.T) {
+	a, s := tracingEnv(t, "ebr", 1)
+	l, err := harris.New(s, ds.Options{Phases: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A workload covering every code path: fresh inserts, duplicate
+	// inserts, deletes of present and absent keys, contains hits and
+	// misses, and traversals over marked runs.
+	for k := int64(0); k < 40; k++ {
+		if _, err := l.Insert(0, k*2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := int64(0); k < 40; k++ {
+		l.Insert(0, k*2)      // duplicates
+		l.Delete(0, k*4)      // every other present key
+		l.Delete(0, k*4+1)    // absent keys
+		l.Contains(0, k*2)    // hits and misses
+		l.Contains(0, k*2+1)  // misses
+		l.Insert(0, 1000+k*3) // fresh region
+		l.Delete(0, 1000+k*3) // immediate removal
+	}
+	vs := accessaware.Verify(a, 1, accessaware.Config{
+		Entries:   []mem.Ref{l.Head(), l.Tail()},
+		LinkWords: []int{ds.WNext},
+	})
+	for _, v := range vs {
+		t.Errorf("violation: %s", v)
+	}
+}
+
+// TestHarrisAccessAwareConcurrent repeats the check under concurrency,
+// where traversals cross marked runs created by other threads.
+func TestHarrisAccessAwareConcurrent(t *testing.T) {
+	a, s := tracingEnv(t, "ebr", 4)
+	l, err := harris.New(s, ds.Options{Phases: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 4)
+	for tid := 0; tid < 4; tid++ {
+		go func(tid int) {
+			var err error
+			for i := 0; i < 400 && err == nil; i++ {
+				key := int64((i*7 + tid*13) % 32)
+				switch i % 3 {
+				case 0:
+					_, err = l.Insert(tid, key)
+				case 1:
+					_, err = l.Delete(tid, key)
+				default:
+					_, err = l.Contains(tid, key)
+				}
+			}
+			done <- err
+		}(tid)
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	vs := accessaware.Verify(a, 4, accessaware.Config{
+		Entries:   []mem.Ref{l.Head(), l.Tail()},
+		LinkWords: []int{ds.WNext},
+	})
+	for _, v := range vs {
+		t.Errorf("violation: %s", v)
+	}
+}
+
+// TestMichaelAccessAware: Michael's list also divides into phases (it is
+// in the NBR paper's applicable class).
+func TestMichaelAccessAware(t *testing.T) {
+	a, s := tracingEnv(t, "ebr", 1)
+	l, err := michael.New(s, ds.Options{Phases: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := int64(0); k < 30; k++ {
+		l.Insert(0, k)
+	}
+	for k := int64(0); k < 30; k++ {
+		l.Delete(0, k*2)
+		l.Contains(0, k)
+	}
+	vs := accessaware.Verify(a, 1, accessaware.Config{
+		Entries:   []mem.Ref{l.Head(), l.Tail()},
+		LinkWords: []int{ds.WNext},
+	})
+	for _, v := range vs {
+		t.Errorf("violation: %s", v)
+	}
+}
+
+// TestViolationDetected: a synthetic trace that dereferences a node in a
+// read phase without having obtained it in that phase must be rejected.
+func TestViolationDetected(t *testing.T) {
+	a := mem.NewArena(mem.Config{
+		Slots: 16, PayloadWords: 2, Threads: 1, Trace: true,
+	})
+	entry, _ := a.Alloc(0)
+	_ = a.MarkShared(entry)
+	n, _ := a.Alloc(0)
+	_ = a.MarkShared(n)
+	_ = a.Store(0, entry, ds.WNext, uint64(n))
+
+	tr := a.Tracer()
+	tr.Reset()
+
+	// Phase 1: legally obtain n through the entry point.
+	tr.Annotate(0, ds.PhaseRead)
+	_, _ = a.Load(0, entry, ds.WNext)
+	_, _ = a.Load(0, n, 0)
+	// Phase 2: a fresh read phase — the old permission must be void, so
+	// dereferencing n without re-obtaining it breaks condition 1.
+	tr.Annotate(0, ds.PhaseRead)
+	_, _ = a.Load(0, n, 0)
+
+	vs := accessaware.VerifyThread(0, tr.Events(0), accessaware.Config{
+		Entries:   []mem.Ref{entry},
+		LinkWords: []int{ds.WNext},
+	})
+	if len(vs) != 1 {
+		t.Fatalf("violations = %v, want exactly the stale-permission load", vs)
+	}
+}
+
+// TestWriteInReadPhaseDetected: shared writes during a read-only phase
+// are rejected.
+func TestWriteInReadPhaseDetected(t *testing.T) {
+	a := mem.NewArena(mem.Config{
+		Slots: 16, PayloadWords: 2, Threads: 1, Trace: true,
+	})
+	entry, _ := a.Alloc(0)
+	_ = a.MarkShared(entry)
+	tr := a.Tracer()
+	tr.Reset()
+
+	tr.Annotate(0, ds.PhaseRead)
+	_ = a.Store(0, entry, 0, 42)
+
+	vs := accessaware.VerifyThread(0, tr.Events(0), accessaware.Config{
+		Entries: []mem.Ref{entry},
+	})
+	if len(vs) != 1 {
+		t.Fatalf("violations = %v, want exactly the read-phase store", vs)
+	}
+}
+
+// TestWritePhaseUnsealedDetected: write-phase accesses to nodes obtained
+// only after the read phase ended are rejected (condition 2/3).
+func TestWritePhaseUnsealedDetected(t *testing.T) {
+	a := mem.NewArena(mem.Config{
+		Slots: 16, PayloadWords: 2, Threads: 1, Trace: true,
+	})
+	entry, _ := a.Alloc(0)
+	_ = a.MarkShared(entry)
+	n, _ := a.Alloc(0)
+	_ = a.MarkShared(n)
+	_ = a.Store(0, entry, ds.WNext, uint64(n))
+	tr := a.Tracer()
+	tr.Reset()
+
+	tr.Annotate(0, ds.PhaseRead)
+	_, _ = a.Load(0, entry, ds.WNext) // permits n
+	tr.Annotate(0, ds.PhaseWrite)
+	_ = a.Store(0, n, 0, 1) // sealed: fine
+	tr.Annotate(0, ds.PhaseRead)
+	tr.Annotate(0, ds.PhaseWrite) // sealed set now empty
+	_ = a.Store(0, n, 0, 2)       // violation
+
+	vs := accessaware.VerifyThread(0, tr.Events(0), accessaware.Config{
+		Entries:   []mem.Ref{entry},
+		LinkWords: []int{ds.WNext},
+	})
+	if len(vs) != 1 {
+		t.Fatalf("violations = %v, want exactly the unsealed write", vs)
+	}
+}
+
+// TestUntracedArena: verifying a non-tracing arena reports a setup error.
+func TestUntracedArena(t *testing.T) {
+	a := mem.NewArena(mem.Config{Slots: 8, PayloadWords: 1, Threads: 1})
+	vs := accessaware.Verify(a, 1, accessaware.Config{})
+	if len(vs) != 1 || vs[0].Thread != -1 {
+		t.Fatalf("want a single setup violation, got %v", vs)
+	}
+}

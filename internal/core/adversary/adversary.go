@@ -1,0 +1,344 @@
+// Package adversary builds the paper's two scripted executions as
+// replayable, deterministic runs parameterized by reclamation scheme:
+//
+//   - Figure1 is the lower-bound execution proving Theorem 6.1: thread T1
+//     stalls at the start of a traversal of Harris's linked-list while T2
+//     runs an alternating insert(n+1)/delete(n) workload, keeping the data
+//     structure at four active nodes while retiring n nodes. A scheme that
+//     is (weakly) robust must eventually reclaim part of T1's path; when
+//     T1 resumes solo, an easily-integrated scheme has no way to stop it
+//     from dereferencing the reclaimed node.
+//
+//   - Figure2 is the Appendix E execution showing protection-based schemes
+//     (HP, HE, IBR) are not applicable to Harris's list: T1 protects node
+//     15 and stalls before reading its next pointer; deleters mark 15 and
+//     43 without unlinking; a traversal bulk-unlinks both; 43 is reclaimed
+//     (15 survives via T1's protection); T1 resumes, validates a perfectly
+//     stable pointer, and still dereferences freed memory.
+//
+// Every run reports a structured Outcome; the per-scheme expectations are
+// what the ERA matrix (internal/core) validates empirically.
+package adversary
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ds"
+	"repro/internal/ds/harris"
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/smr"
+	"repro/internal/smr/all"
+)
+
+// Outcome is the structured result of one adversarial execution.
+type Outcome struct {
+	// Scheme is the reclamation scheme under test.
+	Scheme string
+	// Scenario is "figure1" or "figure2".
+	Scenario string
+	// K is the churn length (figure1 only).
+	K int
+
+	// MaxActive is the arena's max_active_E — the paper pins it at 4 for
+	// Figure 1 (head, tail and at most two list nodes).
+	MaxActive uint64
+	// PeakRetired is the largest retired backlog observed.
+	PeakRetired uint64
+	// FinalRetired is the backlog when the run ended.
+	FinalRetired uint64
+
+	// Faults counts simulated segmentation faults (accesses to system
+	// space) — hard safety violations.
+	Faults uint64
+	// StaleUses counts values read through invalid references that the
+	// scheme handed to the data structure — Definition 4.2 violations.
+	StaleUses uint64
+	// UnsafeLoads and UnsafeStores count all unsafe accesses, including
+	// the tolerated ones of optimistic schemes.
+	UnsafeLoads, UnsafeStores uint64
+	// Restarts counts scheme-demanded rollbacks, Neutralizations the
+	// simulated signals taken.
+	Restarts, Neutralizations uint64
+
+	// StalledOpErr is the error the stalled operation returned after its
+	// solo-run resume (nil when it completed normally).
+	StalledOpErr error
+
+	// Safe reports Definition 4.2 compliance: no faults, no stale uses,
+	// no life-cycle violations.
+	Safe bool
+	// Bounded reports that the final backlog did not track the churn
+	// length (figure1; always true for figure2).
+	Bounded bool
+}
+
+// String renders a one-line summary.
+func (o *Outcome) String() string {
+	verdict := "SAFE"
+	if !o.Safe {
+		verdict = "UNSAFE"
+	}
+	growth := "bounded"
+	if !o.Bounded {
+		growth = "UNBOUNDED"
+	}
+	return fmt.Sprintf("%-10s %s: %s, backlog %s (peak %d, final %d, max_active %d), faults=%d staleUses=%d restarts=%d neut=%d",
+		o.Scheme, o.Scenario, verdict, growth, o.PeakRetired, o.FinalRetired, o.MaxActive,
+		o.Faults, o.StaleUses, o.Restarts, o.Neutralizations)
+}
+
+func fill(o *Outcome, a *mem.Arena, s smr.Scheme) {
+	sn := a.Stats().Snapshot()
+	st := s.Stats().Snapshot()
+	o.PeakRetired = sn.MaxRetired
+	o.FinalRetired = sn.Retired
+	o.MaxActive = sn.MaxActive
+	o.Faults = sn.Faults
+	o.StaleUses = st.StaleUses
+	o.UnsafeLoads = sn.UnsafeLoads
+	o.UnsafeStores = sn.UnsafeStores
+	o.Restarts = st.Restarts
+	o.Neutralizations = st.Neutralizations
+	o.Safe = sn.Faults == 0 && st.StaleUses == 0 && sn.Violations == 0
+}
+
+// effectiveMode honours a scheme's type-preservation requirement: the
+// optimistic schemes (VBR, NBR) are only defined over program-space
+// reclamation — their discarded stale reads must not hit system space.
+func effectiveMode(scheme string, mode mem.ReclaimMode) mem.ReclaimMode {
+	if p, err := all.Props(scheme); err == nil && p.TypePreserving {
+		return mem.Reuse
+	}
+	return mode
+}
+
+func mustOp(name string, ok bool, want bool, err error) error {
+	if err != nil {
+		return fmt.Errorf("adversary: %s: %w", name, err)
+	}
+	if ok != want {
+		return fmt.Errorf("adversary: %s returned %v, script expects %v", name, ok, want)
+	}
+	return nil
+}
+
+// Figure1 runs the Theorem 6.1 lower-bound execution for the named scheme
+// with churn length K. mode selects what reclaimed memory does (Unmap
+// reproduces the segmentation-fault reading; Reuse the read-another-node
+// reading — both are unsafe per Definition 4.1).
+func Figure1(scheme string, K int, mode mem.ReclaimMode) (*Outcome, error) {
+	if K < 2 {
+		return nil, errors.New("adversary: K must be at least 2")
+	}
+	mode = effectiveMode(scheme, mode)
+	slots := 2*K + 64
+	a := mem.NewArena(mem.Config{
+		Slots: slots, PayloadWords: 2, MetaWords: smr.MetaWords, Threads: 2, Mode: mode,
+	})
+	s, err := all.New(scheme, a, 2, 16)
+	if err != nil {
+		return nil, err
+	}
+	bp := sched.NewBreakpoints()
+	l, err := harris.New(s, ds.Options{Gate: bp})
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage a: two reachable nodes besides the sentinels.
+	const t1, t2 = 0, 1
+	for _, k := range []int64{1, 2} {
+		ok, err := l.Insert(t2, k)
+		if err := mustOp(fmt.Sprintf("insert(%d)", k), ok, true, err); err != nil {
+			return nil, err
+		}
+	}
+
+	// T1 starts delete(3) and parks right after reading head's next
+	// pointer (its local pointer references node 1).
+	stall := bp.Arm(t1, ds.PointSearchHead, nil, 0)
+	t1Task := sched.Go(func() error {
+		_, err := l.Delete(t1, 3)
+		return err
+	})
+	<-stall.Reached()
+
+	// Stages b-f: T2 deletes 1, then alternates insert(n+1)/delete(n).
+	if ok, err := l.Delete(t2, 1); err != nil || !ok {
+		return nil, fmt.Errorf("adversary: delete(1) = %v, %v", ok, err)
+	}
+	for n := int64(2); n <= int64(K); n++ {
+		if ok, err := l.Insert(t2, n+1); err != nil || !ok {
+			return nil, fmt.Errorf("adversary: insert(%d) = %v, %v", n+1, ok, err)
+		}
+		if ok, err := l.Delete(t2, n); err != nil || !ok {
+			return nil, fmt.Errorf("adversary: delete(%d) = %v, %v", n, ok, err)
+		}
+	}
+	s.Flush(t2)
+
+	o := &Outcome{Scheme: scheme, Scenario: "figure1", K: K}
+	backlogAtResume := a.Stats().Retired()
+
+	// Solo-run: T1 resumes and traverses its (possibly reclaimed) path.
+	stall.Release()
+	o.StalledOpErr = t1Task.Wait()
+
+	fill(o, a, s)
+	// Bounded: the backlog at C_in did not track the churn length. The
+	// paper's bound is f(i)*N with f = o(max_active); with max_active
+	// pinned at 4 any backlog growing with K is unbounded. K/4 separates
+	// the two regimes cleanly (robust schemes stay below ~threshold+N*K_hp).
+	o.Bounded = backlogAtResume < uint64(K)/4
+	return o, nil
+}
+
+// Figure2Keys are the keys of the Appendix E scenario, exported for the
+// example binaries' narration.
+var Figure2Keys = struct {
+	A, B, C int64 // nodes 15, 43, 76
+	Probe   int64 // T4's absent key 44
+	Insert  int64 // T1's key 58
+}{15, 43, 76, 44, 58}
+
+// Figure2 runs the Appendix E execution for the named scheme.
+func Figure2(scheme string, mode mem.ReclaimMode) (*Outcome, error) {
+	mode = effectiveMode(scheme, mode)
+	a := mem.NewArena(mem.Config{
+		Slots: 4096, PayloadWords: 2, MetaWords: smr.MetaWords, Threads: 4, Mode: mode,
+	})
+	s, err := all.New(scheme, a, 4, 8)
+	if err != nil {
+		return nil, err
+	}
+	bp := sched.NewBreakpoints()
+	l, err := harris.New(s, ds.Options{Gate: bp})
+	if err != nil {
+		return nil, err
+	}
+	const t1, t2, t3, t4 = 0, 1, 2, 3
+	k := Figure2Keys
+
+	// Stage a: the list contains {15, 76}.
+	for _, key := range []int64{k.A, k.C} {
+		if ok, err := l.Insert(t4, key); err != nil || !ok {
+			return nil, fmt.Errorf("adversary: initial insert(%d) = %v, %v", key, ok, err)
+		}
+	}
+	ref15, ok := findRef(a, l, k.A)
+	if !ok {
+		return nil, errors.New("adversary: node 15 not found after insert")
+	}
+
+	// T1 invokes insert(58), obtains (and protects) a pointer to node 15,
+	// and parks before reading 15's next pointer.
+	stall := bp.Arm(t1, ds.PointSearchStep, func(arg uint64) bool {
+		return mem.Ref(arg).SameNode(ref15)
+	}, 0)
+	t1Task := sched.Go(func() error {
+		_, err := l.Insert(t1, k.Insert)
+		return err
+	})
+	<-stall.Reached()
+
+	// Era/epoch separation: drive allocations and retirements so that a
+	// node inserted *after* T1's protection is born in a strictly later
+	// era than any era T1 reserved (IBR and HE advance their clocks on
+	// allocation/retirement counts).
+	for i := int64(0); i < 16; i++ {
+		if ok, err := l.Insert(t4, 1000+i); err != nil || !ok {
+			return nil, fmt.Errorf("adversary: filler insert = %v, %v", ok, err)
+		}
+		if ok, err := l.Delete(t4, 1000+i); err != nil || !ok {
+			return nil, fmt.Errorf("adversary: filler delete = %v, %v", ok, err)
+		}
+	}
+
+	// Stage b: node 43 is inserted between 15 and 76.
+	if ok, err := l.Insert(t4, k.B); err != nil || !ok {
+		return nil, fmt.Errorf("adversary: insert(43) = %v, %v", ok, err)
+	}
+
+	// Stage c: T2 and T3 mark 43 and 15 respectively, both parking after
+	// the mark and before the unlink.
+	stall2 := bp.Arm(t2, ds.PointDeleteMarked, nil, 0)
+	t2Task := sched.Go(func() error {
+		ok, err := l.Delete(t2, k.B)
+		if err == nil && !ok {
+			return errors.New("delete(43) lost its victim")
+		}
+		return err
+	})
+	<-stall2.Reached()
+
+	stall3 := bp.Arm(t3, ds.PointDeleteMarked, nil, 0)
+	t3Task := sched.Go(func() error {
+		ok, err := l.Delete(t3, k.A)
+		if err == nil && !ok {
+			return errors.New("delete(15) lost its victim")
+		}
+		return err
+	})
+	<-stall3.Reached()
+
+	// Stage d: T4's delete(44) traversal bulk-unlinks the marked run
+	// 15 -> 43 with a single CAS on head's next pointer, then reports 44
+	// absent.
+	if ok, err := l.Delete(t4, k.Probe); err != nil || ok {
+		return nil, fmt.Errorf("adversary: delete(44) = %v, %v (want absent)", ok, err)
+	}
+
+	// The deleters finish: each fails its own unlink (already done),
+	// re-finds, and retires its victim.
+	stall3.Release()
+	if err := t3Task.Wait(); err != nil {
+		return nil, fmt.Errorf("adversary: T3: %w", err)
+	}
+	stall2.Release()
+	if err := t2Task.Wait(); err != nil {
+		return nil, fmt.Errorf("adversary: T2: %w", err)
+	}
+
+	// Reclamation scans: 43 is unprotected and reclaims; 15 is covered by
+	// T1's protection under the protection-based schemes.
+	for i := 0; i < 3; i++ {
+		for tid := 0; tid < 4; tid++ {
+			s.Flush(tid)
+		}
+	}
+
+	o := &Outcome{Scheme: scheme, Scenario: "figure2"}
+
+	// T1 resumes: it re-reads 15's next pointer (perfectly stable: a
+	// marked reference to node 43), protects 43, validates, and
+	// dereferences.
+	stall.Release()
+	o.StalledOpErr = t1Task.Wait()
+
+	fill(o, a, s)
+	o.Bounded = true
+	return o, nil
+}
+
+// findRef walks the list raw and returns the reference to the node with
+// the given key. Only used on quiescent structures by the director.
+func findRef(a *mem.Arena, l *harris.List, key int64) (mem.Ref, bool) {
+	cur, err := a.Load(0, l.Head(), ds.WNext)
+	for err == nil {
+		r := mem.Ref(cur).WithoutMark()
+		if r.IsNil() {
+			break
+		}
+		k, kerr := a.Load(0, r, ds.WKey)
+		if kerr != nil {
+			break
+		}
+		if int64(k) == key {
+			return r, true
+		}
+		cur, err = a.Load(0, r, ds.WNext)
+	}
+	return mem.NilRef, false
+}

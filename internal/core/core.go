@@ -1,0 +1,103 @@
+// Package core implements the paper's formal machinery as executable
+// checks: the safety condition of Definition 4.2, the robustness bounds of
+// Definitions 5.1–5.2, the easy-integration conditions of Definition 5.3,
+// the applicability conditions of Definition 5.4, and the ERA matrix whose
+// empty all-yes row is Theorem 6.1.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/smr"
+)
+
+// SafetyReport aggregates the Definition 4.2 accounting of one run.
+type SafetyReport struct {
+	// UnsafeLoads and UnsafeStores count dereferences of invalid
+	// references (Definition 4.1). They are tolerable when the scheme
+	// discards the results (optimistic schemes).
+	UnsafeLoads, UnsafeStores uint64
+	// Faults counts accesses to system space — Condition 1 violations.
+	Faults uint64
+	// StaleUses counts stale values handed to the data structure —
+	// Condition 3 violations.
+	StaleUses uint64
+	// Violations counts node life-cycle violations (double retire,
+	// alloc of a live slot, ...).
+	Violations uint64
+}
+
+// Safe reports Definition 4.2 compliance: unsafe accesses may exist, but
+// no access faulted, no stale value escaped, and the life-cycle held.
+func (r SafetyReport) Safe() bool {
+	return r.Faults == 0 && r.StaleUses == 0 && r.Violations == 0
+}
+
+// String renders the report.
+func (r SafetyReport) String() string {
+	verdict := "safe"
+	if !r.Safe() {
+		verdict = "UNSAFE"
+	}
+	return fmt.Sprintf("%s (unsafe loads %d, unsafe stores %d, faults %d, stale uses %d, violations %d)",
+		verdict, r.UnsafeLoads, r.UnsafeStores, r.Faults, r.StaleUses, r.Violations)
+}
+
+// Safety collects the report for a scheme bound to arena a.
+func Safety(a *mem.Arena, s smr.Scheme) SafetyReport {
+	sn := a.Stats().Snapshot()
+	st := s.Stats().Snapshot()
+	return SafetyReport{
+		UnsafeLoads:  sn.UnsafeLoads,
+		UnsafeStores: sn.UnsafeStores,
+		Faults:       sn.Faults,
+		StaleUses:    st.StaleUses,
+		Violations:   sn.Violations,
+	}
+}
+
+// IntegrationReport is the Definition 5.3 check list for one scheme. In
+// this repository conditions 1–3 and 5 hold by construction (all schemes
+// are objects behind one barrier interface and only touch their private
+// metadata words); condition 4 — well-formedness of the integrated
+// implementation — fails exactly when the scheme demands rollbacks, and
+// the phase discipline of NBR-style schemes adds integration work beyond
+// the allowed insertion points.
+type IntegrationReport struct {
+	Scheme string
+	// ProvidedAsObject is Condition 1.
+	ProvidedAsObject bool
+	// InsertionPointsOnly is Condition 2 (begin/end, alloc/retire,
+	// primitive replacements).
+	InsertionPointsOnly bool
+	// LinearizablePrimitives is Condition 3.
+	LinearizablePrimitives bool
+	// WellFormed is Condition 4: no control transfer out of a scheme
+	// operation back into data-structure code (no rollbacks).
+	WellFormed bool
+	// LayoutRespected is Condition 5: only scheme-added fields accessed.
+	LayoutRespected bool
+	// PhaseDiscipline notes an extra integration obligation outside the
+	// Definition's insertion points (read/write phase restructuring).
+	PhaseDiscipline bool
+	// Easy is the conjunction: the scheme is easily integrated.
+	Easy bool
+}
+
+// ClassifyIntegration derives the Definition 5.3 report from a scheme's
+// property sheet.
+func ClassifyIntegration(name string, p smr.Props) IntegrationReport {
+	r := IntegrationReport{
+		Scheme:                 name,
+		ProvidedAsObject:       true,
+		InsertionPointsOnly:    true,
+		LinearizablePrimitives: true,
+		WellFormed:             !p.RequiresRollback,
+		LayoutRespected:        true,
+		PhaseDiscipline:        p.RequiresPhases,
+	}
+	r.Easy = r.ProvidedAsObject && r.InsertionPointsOnly && r.LinearizablePrimitives &&
+		r.WellFormed && r.LayoutRespected && !r.PhaseDiscipline
+	return r
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core/adversary"
+	"repro/internal/mem"
+	"repro/internal/smr"
+	"repro/internal/smr/all"
+)
+
+// MatrixRow is one scheme's line in the ERA matrix: the claimed classes,
+// the empirical validations, and the two-of-three verdict.
+type MatrixRow struct {
+	Scheme string
+
+	// Easy is the Definition 5.3 classification.
+	Easy bool
+	// Integration is the full condition breakdown.
+	Integration IntegrationReport
+
+	// ClaimedRobustness is the scheme's declared class.
+	ClaimedRobustness smr.RobustnessClass
+	// MeasuredBounded is the Figure 1 backlog measurement.
+	MeasuredBounded bool
+	// Robust is the ERA-theorem-relevant bit: at least weak robustness,
+	// confirmed by measurement.
+	Robust bool
+
+	// ClaimedApplicability is the scheme's declared class.
+	ClaimedApplicability smr.ApplicabilityClass
+	// HarrisSafe aggregates the deterministic adversary executions on
+	// Harris's list — the access-aware witness of Definition 5.6.
+	HarrisSafe bool
+	// Wide is the ERA-theorem-relevant bit: applicable to the
+	// access-aware class, confirmed on its witness.
+	Wide bool
+
+	// Consistent reports that measurements agree with claims.
+	Consistent bool
+}
+
+// Count returns how many of the three ERA properties the row has.
+func (r MatrixRow) Count() int {
+	n := 0
+	if r.Easy {
+		n++
+	}
+	if r.Robust {
+		n++
+	}
+	if r.Wide {
+		n++
+	}
+	return n
+}
+
+// Matrix is the full ERA matrix.
+type Matrix struct {
+	Rows []MatrixRow
+	// FigureK is the churn length the measurements used.
+	FigureK int
+}
+
+// TheoremHolds reports that no scheme achieved all three properties —
+// the empirical statement of Theorem 6.1.
+func (m Matrix) TheoremHolds() bool {
+	for _, r := range m.Rows {
+		if r.Count() == 3 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix as an aligned table.
+func (m Matrix) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-11s %-5s %-14s %-14s %-6s %s\n",
+		"scheme", "easy", "robustness", "applicability", "count", "evidence")
+	yn := func(v bool) string {
+		if v {
+			return "yes"
+		}
+		return "no"
+	}
+	for _, r := range m.Rows {
+		rb := r.ClaimedRobustness.String()
+		if !r.MeasuredBounded {
+			rb += "*"
+		}
+		ap := r.ClaimedApplicability.String()
+		if !r.HarrisSafe {
+			ap += "!"
+		}
+		fmt.Fprintf(&b, "%-11s %-5s %-14s %-14s %-6d bounded=%s harris-safe=%s consistent=%s\n",
+			r.Scheme, yn(r.Easy), rb, ap, r.Count(),
+			yn(r.MeasuredBounded), yn(r.HarrisSafe), yn(r.Consistent))
+	}
+	fmt.Fprintf(&b, "ERA theorem (no all-yes row): holds=%v\n", m.TheoremHolds())
+	return b.String()
+}
+
+// BuildMatrix assembles the ERA matrix across every safe scheme: static
+// integration classification, Figure 1 robustness measurement, and the
+// two deterministic Harris executions for the applicability bit. figureK
+// <= 0 selects a default churn.
+func BuildMatrix(figureK int) (Matrix, error) {
+	if figureK <= 0 {
+		figureK = 600
+	}
+	m := Matrix{FigureK: figureK}
+	for _, scheme := range all.SafeNames() {
+		props, err := all.Props(scheme)
+		if err != nil {
+			return m, err
+		}
+		row := MatrixRow{
+			Scheme:               scheme,
+			Integration:          ClassifyIntegration(scheme, props),
+			ClaimedRobustness:    props.Robustness,
+			ClaimedApplicability: props.Applicability,
+		}
+		row.Easy = row.Integration.Easy
+
+		rob, err := MeasureRobustness(scheme, []int{figureK / 4, figureK})
+		if err != nil {
+			return m, err
+		}
+		row.MeasuredBounded = rob.Bounded
+		row.Robust = props.Robustness != smr.NotRobust && rob.Bounded
+
+		f1, err := adversary.Figure1(scheme, figureK, mem.Unmap)
+		if err != nil {
+			return m, err
+		}
+		f2, err := adversary.Figure2(scheme, mem.Unmap)
+		if err != nil {
+			return m, err
+		}
+		row.HarrisSafe = f1.Safe && f2.Safe
+		claimedWide := props.Applicability == smr.WidelyApplicable ||
+			props.Applicability == smr.StronglyApplicable
+		row.Wide = claimedWide && row.HarrisSafe
+
+		row.Consistent = rob.MatchesClaim && (claimedWide == row.HarrisSafe)
+		m.Rows = append(m.Rows, row)
+	}
+	return m, nil
+}

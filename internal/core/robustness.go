@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/core/adversary"
+	"repro/internal/mem"
+	"repro/internal/smr"
+	"repro/internal/smr/all"
+)
+
+// RobustnessSample is one point of the backlog-vs-churn curve.
+type RobustnessSample struct {
+	// Churn is the Figure 1 churn length K.
+	Churn int
+	// PeakRetired is the largest retired backlog during the run.
+	PeakRetired uint64
+}
+
+// RobustnessReport classifies a scheme's measured robustness under the
+// Theorem 6.1 workload: a stalled reader on Harris's list while the data
+// structure is held at four active nodes. Definitions 5.1–5.2 bound the
+// backlog by a function of max_active; with max_active pinned, any growth
+// with the churn length disqualifies even weak robustness.
+type RobustnessReport struct {
+	Scheme  string
+	Claimed string
+	Samples []RobustnessSample
+	// Bounded reports that the peak backlog did not track the churn.
+	Bounded bool
+	// MatchesClaim reports that the measurement agrees with the scheme's
+	// claimed robustness class.
+	MatchesClaim bool
+}
+
+// String renders the report.
+func (r RobustnessReport) String() string {
+	s := fmt.Sprintf("%-10s claimed %-13s measured ", r.Scheme, r.Claimed)
+	if r.Bounded {
+		s += "bounded  "
+	} else {
+		s += "UNBOUNDED"
+	}
+	for _, p := range r.Samples {
+		s += fmt.Sprintf("  K=%d:%d", p.Churn, p.PeakRetired)
+	}
+	return s
+}
+
+// MeasureRobustness runs the Figure 1 execution at increasing churn
+// lengths and classifies the backlog growth. churns must be increasing;
+// nil selects a default sweep.
+func MeasureRobustness(scheme string, churns []int) (RobustnessReport, error) {
+	if len(churns) == 0 {
+		churns = []int{250, 1000}
+	}
+	p, err := all.Props(scheme)
+	if err != nil {
+		return RobustnessReport{}, err
+	}
+	r := RobustnessReport{Scheme: scheme, Claimed: p.Robustness.String()}
+	for _, k := range churns {
+		o, err := adversary.Figure1(scheme, k, mem.Reuse)
+		if err != nil {
+			return RobustnessReport{}, err
+		}
+		r.Samples = append(r.Samples, RobustnessSample{Churn: k, PeakRetired: o.PeakRetired})
+	}
+	first, last := r.Samples[0], r.Samples[len(r.Samples)-1]
+	// Bounded: quadrupling the churn must not (even close to) quadruple
+	// the backlog; the slack absorbs retire-list thresholds.
+	r.Bounded = last.PeakRetired <= 2*first.PeakRetired+64
+	wantBounded := p.Robustness != smr.NotRobust // weak robustness suffices
+	r.MatchesClaim = r.Bounded == wantBounded
+	return r, nil
+}

@@ -1,0 +1,150 @@
+// Package ds defines the abstract-data-type interfaces implemented by the
+// repository's concurrent data structures, and the shared node layout and
+// instrumentation helpers.
+//
+// Every structure is a *plain implementation* in the paper's sense
+// (Section 4.2): the algorithm includes retire() calls at the points where
+// nodes are detached, and all shared-memory accesses are expressed through
+// the smr.Scheme barrier interface, so any reclamation scheme can be
+// integrated without touching the algorithm.
+package ds
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/smr"
+)
+
+// Shared node layout: word 0 is the key (immutable once shared), word 1
+// the next link. Structures with more links (the skip list) use words
+// 1..n.
+const (
+	WKey  = 0
+	WNext = 1
+)
+
+// Sentinel keys for list-based sets ("head and tail sentinels with the
+// respective -inf and +inf keys").
+const (
+	KeyMin = math.MinInt64
+	KeyMax = math.MaxInt64
+)
+
+// ErrCorrupted reports that a structure reached an impossible state —
+// only ever observed when an unsafe scheme corrupted memory.
+var ErrCorrupted = errors.New("ds: structure corrupted")
+
+// Set is the integer-set object of Section 3 of the paper.
+type Set interface {
+	// Name identifies the implementation ("harris", "michael", ...).
+	Name() string
+	// Insert adds key; false if already present.
+	Insert(tid int, key int64) (bool, error)
+	// Delete removes key; false if absent.
+	Delete(tid int, key int64) (bool, error)
+	// Contains reports membership.
+	Contains(tid int, key int64) (bool, error)
+}
+
+// Queue is a FIFO queue object.
+type Queue interface {
+	Name() string
+	Enqueue(tid int, v int64) error
+	// Dequeue returns (value, true) or (0, false) when empty.
+	Dequeue(tid int) (int64, bool, error)
+}
+
+// Stack is a LIFO stack object.
+type Stack interface {
+	Name() string
+	Push(tid int, v int64) error
+	Pop(tid int) (int64, bool, error)
+}
+
+// Options carries cross-cutting instrumentation for a structure.
+type Options struct {
+	// Gate, when non-nil, receives Hit calls at named execution points
+	// (the adversarial scheduler).
+	Gate sched.Gate
+	// Phases, when true and the arena traces, annotates read/write phase
+	// boundaries into the trace for the access-aware verifier.
+	Phases bool
+}
+
+// Named execution points (sched.Gate hits).
+const (
+	// PointSearchHead fires right after a search read the entry point's
+	// next pointer; arg is the searched key. This is where Figure 1
+	// stalls T1.
+	PointSearchHead = "search:head"
+	// PointSearchVisit fires at each unmarked node visited during a
+	// search; arg is the node's key. This is where Figure 2 stalls T1.
+	PointSearchVisit = "search:visit"
+	// PointSearchVisitMarked fires at each marked node traversed
+	// (Harris only); arg is the node's key.
+	PointSearchVisitMarked = "search:visit-marked"
+	// PointSearchStep fires at the top of each traversal step, before the
+	// current node's next pointer is read; arg is the mem.Ref of the
+	// current node (compare with Ref.SameNode). This is where Figure 2
+	// stalls T1: it holds (and protects) a reference to node 15 but has
+	// not yet read 15's next pointer.
+	PointSearchStep = "search:step"
+	// PointDeleteMarked fires right after a delete's successful marking
+	// CAS, before the unlink attempt; arg is the victim's key. Figure 2
+	// parks the two deleters here so both victims are marked before
+	// either is unlinked.
+	PointDeleteMarked = "delete:marked"
+)
+
+// Instr is the instrumentation half every structure embeds.
+type Instr struct {
+	Opt Options
+	A   *mem.Arena
+}
+
+// Hit forwards to the gate when one is installed.
+func (in *Instr) Hit(tid int, point string, arg uint64) {
+	if in.Opt.Gate != nil {
+		in.Opt.Gate.Hit(tid, point, arg)
+	}
+}
+
+// Phase annotates a phase boundary into the access trace when enabled.
+func (in *Instr) Phase(tid int, phase string) {
+	if in.Opt.Phases && in.A.Tracer() != nil {
+		in.A.Tracer().Annotate(tid, phase)
+	}
+}
+
+// Phase annotation strings consumed by the access-aware verifier.
+const (
+	PhaseRead  = "phase:read"
+	PhaseWrite = "phase:write"
+)
+
+// RegisterLinks tells link-tracking schemes (reference counting) which
+// payload words hold references.
+func RegisterLinks(s smr.Scheme, words []int) {
+	if la, ok := s.(interface{ SetLinkWords([]int) }); ok {
+		la.SetLinkWords(words)
+	}
+}
+
+// NewSentinel allocates a never-retired node (entry point) with the given
+// key, outside any operation bracket.
+func NewSentinel(s smr.Scheme, tid int, key int64) (mem.Ref, error) {
+	r, err := s.Alloc(tid)
+	if err != nil {
+		return mem.NilRef, err
+	}
+	if !s.Write(tid, r, WKey, uint64(key)) {
+		return mem.NilRef, ErrCorrupted
+	}
+	if err := s.Heap().MarkShared(r); err != nil {
+		return mem.NilRef, err
+	}
+	return r, nil
+}

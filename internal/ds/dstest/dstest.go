@@ -1,0 +1,425 @@
+// Package dstest provides the shared conformance harness the per-structure
+// test packages run: model-based sequential suites, linearizability-checked
+// concurrent rounds, disjoint-key churn, and safety accounting.
+//
+// Every check runs for each (scheme, structure) pair the paper classifies
+// as applicable (registry.Applicable); the deterministic incompatibility
+// demonstrations for the non-applicable pairs live in the core/adversary
+// package instead.
+package dstest
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/ds"
+	"repro/internal/hist"
+	"repro/internal/mem"
+	"repro/internal/smr"
+	"repro/internal/smr/all"
+)
+
+// Env bundles an arena and a scheme instance for one test.
+type Env struct {
+	A *mem.Arena
+	S smr.Scheme
+	N int
+}
+
+// NewEnv builds an arena and the named scheme over it. slots <= 0 selects a
+// default heap size.
+func NewEnv(tb testing.TB, scheme string, n, slots, payloadWords int, mode mem.ReclaimMode) *Env {
+	tb.Helper()
+	if slots <= 0 {
+		slots = 1 << 16
+	}
+	a := mem.NewArena(mem.Config{
+		Slots:        slots,
+		PayloadWords: payloadWords,
+		MetaWords:    smr.MetaWords,
+		Threads:      n,
+		Mode:         mode,
+	})
+	s, err := all.New(scheme, a, n, 0)
+	if err != nil {
+		tb.Fatalf("building scheme %s: %v", scheme, err)
+	}
+	return &Env{A: a, S: s, N: n}
+}
+
+// AssertSafe fails the test if the run violated Definition 4.2. Optimistic
+// (rollback-requiring) schemes are allowed unsafe accesses provided the
+// stale values never escape (VBR/NBR read reclaimed memory and discard the
+// result; their update attempts through invalid pointers are guaranteed to
+// fail); every other scheme must have performed only safe accesses.
+// Segmentation faults (system-space accesses) and life-cycle violations are
+// never allowed.
+func (e *Env) AssertSafe(tb testing.TB) {
+	tb.Helper()
+	sn := e.A.Stats().Snapshot()
+	if !e.S.Props().RequiresRollback {
+		if n := sn.UnsafeAccesses(); n != 0 {
+			tb.Errorf("%s: %d unsafe accesses (loads=%d stores=%d faults=%d)",
+				e.S.Name(), n, sn.UnsafeLoads, sn.UnsafeStores, sn.Faults)
+		}
+	}
+	if sn.Faults != 0 {
+		tb.Errorf("%s: %d segmentation faults (Definition 4.2, Condition 1)", e.S.Name(), sn.Faults)
+	}
+	if sn.Violations != 0 {
+		tb.Errorf("%s: %d life-cycle violations", e.S.Name(), sn.Violations)
+	}
+	if st := e.S.Stats().Snapshot(); st.StaleUses != 0 {
+		tb.Errorf("%s: %d stale value uses (Definition 4.2, Condition 3 violation)", e.S.Name(), st.StaleUses)
+	}
+}
+
+// rng is a splitmix64 pseudo-random generator for reproducible workloads.
+type rng uint64
+
+func newRNG(seed uint64) *rng { r := rng(seed*2685821657736338717 + 1); return &r }
+
+func (r *rng) next() uint64 {
+	*r += 0x9e3779b97f4a7c15
+	z := uint64(*r)
+	z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
+	z = (z ^ z>>27) * 0x94d049bb133111eb
+	return z ^ z>>31
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// SequentialSet drives a single-threaded model-based suite against set.
+func SequentialSet(tb testing.TB, set ds.Set, keyRange, steps int) {
+	tb.Helper()
+	model := make(map[int64]bool)
+	r := newRNG(42)
+	for i := 0; i < steps; i++ {
+		key := int64(r.intn(keyRange))
+		switch r.intn(3) {
+		case 0:
+			got, err := set.Insert(0, key)
+			if err != nil {
+				tb.Fatalf("step %d: insert(%d): %v", i, key, err)
+			}
+			want := !model[key]
+			if got != want {
+				tb.Fatalf("step %d: insert(%d) = %v, model says %v", i, key, got, want)
+			}
+			model[key] = true
+		case 1:
+			got, err := set.Delete(0, key)
+			if err != nil {
+				tb.Fatalf("step %d: delete(%d): %v", i, key, err)
+			}
+			want := model[key]
+			if got != want {
+				tb.Fatalf("step %d: delete(%d) = %v, model says %v", i, key, got, want)
+			}
+			delete(model, key)
+		default:
+			got, err := set.Contains(0, key)
+			if err != nil {
+				tb.Fatalf("step %d: contains(%d): %v", i, key, err)
+			}
+			if got != model[key] {
+				tb.Fatalf("step %d: contains(%d) = %v, model says %v", i, key, got, model[key])
+			}
+		}
+	}
+	// Cross-check the final contents for structures that expose Keys().
+	if ks, ok := set.(interface{ Keys() []int64 }); ok {
+		keys := ks.Keys()
+		if len(keys) != len(model) {
+			tb.Fatalf("final size %d, model %d", len(keys), len(model))
+		}
+		for _, k := range keys {
+			if !model[k] {
+				tb.Fatalf("final contents contain %d, model does not", k)
+			}
+		}
+	}
+}
+
+// SequentialQueue drives a single-threaded model-based suite.
+func SequentialQueue(tb testing.TB, q ds.Queue, steps int) {
+	tb.Helper()
+	var model []int64
+	r := newRNG(43)
+	for i := 0; i < steps; i++ {
+		if r.intn(2) == 0 || len(model) == 0 && r.intn(4) != 0 {
+			v := int64(r.next() % 1000)
+			if err := q.Enqueue(0, v); err != nil {
+				tb.Fatalf("step %d: enqueue: %v", i, err)
+			}
+			model = append(model, v)
+		} else {
+			v, ok, err := q.Dequeue(0)
+			if err != nil {
+				tb.Fatalf("step %d: dequeue: %v", i, err)
+			}
+			if ok != (len(model) > 0) {
+				tb.Fatalf("step %d: dequeue ok=%v, model len %d", i, ok, len(model))
+			}
+			if ok {
+				if v != model[0] {
+					tb.Fatalf("step %d: dequeue = %d, model head %d", i, v, model[0])
+				}
+				model = model[1:]
+			}
+		}
+	}
+}
+
+// SequentialStack drives a single-threaded model-based suite.
+func SequentialStack(tb testing.TB, st ds.Stack, steps int) {
+	tb.Helper()
+	var model []int64
+	r := newRNG(44)
+	for i := 0; i < steps; i++ {
+		if r.intn(2) == 0 || len(model) == 0 && r.intn(4) != 0 {
+			v := int64(r.next() % 1000)
+			if err := st.Push(0, v); err != nil {
+				tb.Fatalf("step %d: push: %v", i, err)
+			}
+			model = append(model, v)
+		} else {
+			v, ok, err := st.Pop(0)
+			if err != nil {
+				tb.Fatalf("step %d: pop: %v", i, err)
+			}
+			if ok != (len(model) > 0) {
+				tb.Fatalf("step %d: pop ok=%v, model len %d", i, ok, len(model))
+			}
+			if ok {
+				top := model[len(model)-1]
+				if v != top {
+					tb.Fatalf("step %d: pop = %d, model top %d", i, v, top)
+				}
+				model = model[:len(model)-1]
+			}
+		}
+	}
+}
+
+// runRounds executes rounds of concurrent operations with a barrier between
+// rounds and returns the per-round history windows, ready for the chained
+// linearizability checker.
+func runRounds(tb testing.TB, n, rounds, opsPerThread int,
+	op func(tid, round, i int, rec *hist.Recorder)) [][]hist.Op {
+	tb.Helper()
+	rec := hist.NewRecorder(n)
+	var windows [][]hist.Op
+	for round := 0; round < rounds; round++ {
+		var wg sync.WaitGroup
+		for tid := 0; tid < n; tid++ {
+			wg.Add(1)
+			go func(tid int) {
+				defer wg.Done()
+				for i := 0; i < opsPerThread; i++ {
+					op(tid, round, i, rec)
+				}
+			}(tid)
+		}
+		wg.Wait()
+		windows = append(windows, rec.History())
+		rec.Reset()
+	}
+	return windows
+}
+
+// ConcurrentSet runs linearizability-checked concurrent rounds against set.
+func ConcurrentSet(tb testing.TB, env *Env, set ds.Set, rounds, opsPerThread, keyRange int) {
+	tb.Helper()
+	windows := runRounds(tb, env.N, rounds, opsPerThread, func(tid, round, i int, rec *hist.Recorder) {
+		r := newRNG(uint64(tid)<<32 + uint64(round)<<16 + uint64(i))
+		key := int64(r.intn(keyRange))
+		switch r.intn(3) {
+		case 0:
+			p := rec.Begin(tid, hist.OpInsert, key)
+			ok, err := set.Insert(tid, key)
+			if err != nil {
+				tb.Errorf("T%d insert(%d): %v", tid, key, err)
+				return
+			}
+			rec.End(tid, p, ok, 0)
+		case 1:
+			p := rec.Begin(tid, hist.OpDelete, key)
+			ok, err := set.Delete(tid, key)
+			if err != nil {
+				tb.Errorf("T%d delete(%d): %v", tid, key, err)
+				return
+			}
+			rec.End(tid, p, ok, 0)
+		default:
+			p := rec.Begin(tid, hist.OpContains, key)
+			ok, err := set.Contains(tid, key)
+			if err != nil {
+				tb.Errorf("T%d contains(%d): %v", tid, key, err)
+				return
+			}
+			rec.End(tid, p, ok, 0)
+		}
+	})
+	if tb.Failed() {
+		return
+	}
+	ok, err := hist.CheckChained(hist.SetSpec{}, windows)
+	if err != nil {
+		tb.Fatalf("linearizability check: %v", err)
+	}
+	if !ok {
+		tb.Errorf("%s over %s: history not linearizable", set.Name(), env.S.Name())
+	}
+}
+
+// ConcurrentQueue runs linearizability-checked concurrent rounds against q.
+func ConcurrentQueue(tb testing.TB, env *Env, q ds.Queue, rounds, opsPerThread int) {
+	tb.Helper()
+	windows := runRounds(tb, env.N, rounds, opsPerThread, func(tid, round, i int, rec *hist.Recorder) {
+		r := newRNG(uint64(tid)<<32 + uint64(round)<<16 + uint64(i) + 7)
+		if r.intn(2) == 0 {
+			v := int64(r.next() % 1 << 20)
+			p := rec.Begin(tid, hist.OpEnqueue, v)
+			if err := q.Enqueue(tid, v); err != nil {
+				tb.Errorf("T%d enqueue: %v", tid, err)
+				return
+			}
+			rec.End(tid, p, true, 0)
+		} else {
+			p := rec.Begin(tid, hist.OpDequeue, 0)
+			v, ok, err := q.Dequeue(tid)
+			if err != nil {
+				tb.Errorf("T%d dequeue: %v", tid, err)
+				return
+			}
+			rec.End(tid, p, ok, v)
+		}
+	})
+	if tb.Failed() {
+		return
+	}
+	ok, err := hist.CheckChained(hist.QueueSpec{}, windows)
+	if err != nil {
+		tb.Fatalf("linearizability check: %v", err)
+	}
+	if !ok {
+		tb.Errorf("%s over %s: history not linearizable", q.Name(), env.S.Name())
+	}
+}
+
+// ConcurrentStack runs linearizability-checked concurrent rounds against st.
+func ConcurrentStack(tb testing.TB, env *Env, st ds.Stack, rounds, opsPerThread int) {
+	tb.Helper()
+	windows := runRounds(tb, env.N, rounds, opsPerThread, func(tid, round, i int, rec *hist.Recorder) {
+		r := newRNG(uint64(tid)<<32 + uint64(round)<<16 + uint64(i) + 11)
+		if r.intn(2) == 0 {
+			v := int64(r.next() % 1 << 20)
+			p := rec.Begin(tid, hist.OpPush, v)
+			if err := st.Push(tid, v); err != nil {
+				tb.Errorf("T%d push: %v", tid, err)
+				return
+			}
+			rec.End(tid, p, true, 0)
+		} else {
+			p := rec.Begin(tid, hist.OpPop, 0)
+			v, ok, err := st.Pop(tid)
+			if err != nil {
+				tb.Errorf("T%d pop: %v", tid, err)
+				return
+			}
+			rec.End(tid, p, ok, v)
+		}
+	})
+	if tb.Failed() {
+		return
+	}
+	ok, err := hist.CheckChained(hist.StackSpec{}, windows)
+	if err != nil {
+		tb.Fatalf("linearizability check: %v", err)
+	}
+	if !ok {
+		tb.Errorf("%s over %s: history not linearizable", st.Name(), env.S.Name())
+	}
+}
+
+// DisjointChurnSet drives heavy concurrent churn with per-thread disjoint
+// key partitions (thread t owns keys ≡ t mod N), so the final contents are
+// exactly the union of per-thread models despite full concurrency. It
+// exercises reclamation far harder than the checked rounds.
+func DisjointChurnSet(tb testing.TB, env *Env, set ds.Set, opsPerThread, keyRange int) {
+	tb.Helper()
+	models := make([]map[int64]bool, env.N)
+	var wg sync.WaitGroup
+	for tid := 0; tid < env.N; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			model := make(map[int64]bool)
+			models[tid] = model
+			r := newRNG(uint64(tid) + 1000)
+			for i := 0; i < opsPerThread; i++ {
+				key := int64(r.intn(keyRange)*env.N + tid)
+				switch r.intn(3) {
+				case 0:
+					ok, err := set.Insert(tid, key)
+					if err != nil {
+						tb.Errorf("T%d insert(%d): %v", tid, key, err)
+						return
+					}
+					if ok == model[key] {
+						tb.Errorf("T%d insert(%d) = %v with model %v", tid, key, ok, model[key])
+						return
+					}
+					model[key] = true
+				case 1:
+					ok, err := set.Delete(tid, key)
+					if err != nil {
+						tb.Errorf("T%d delete(%d): %v", tid, key, err)
+						return
+					}
+					if ok != model[key] {
+						tb.Errorf("T%d delete(%d) = %v with model %v", tid, key, ok, model[key])
+						return
+					}
+					delete(model, key)
+				default:
+					ok, err := set.Contains(tid, key)
+					if err != nil {
+						tb.Errorf("T%d contains(%d): %v", tid, key, err)
+						return
+					}
+					if ok != model[key] {
+						tb.Errorf("T%d contains(%d) = %v with model %v", tid, key, ok, model[key])
+						return
+					}
+				}
+			}
+		}(tid)
+	}
+	wg.Wait()
+	if tb.Failed() {
+		return
+	}
+	want := make(map[int64]bool)
+	for _, m := range models {
+		for k := range m {
+			want[k] = true
+		}
+	}
+	for key := range want {
+		ok, err := set.Contains(0, key)
+		if err != nil {
+			tb.Fatalf("final contains(%d): %v", key, err)
+		}
+		if !ok {
+			tb.Errorf("final contents missing %d", key)
+		}
+	}
+	if ks, ok := set.(interface{ Keys() []int64 }); ok {
+		keys := ks.Keys()
+		if len(keys) != len(want) {
+			tb.Errorf("final size %d, union of models %d", len(keys), len(want))
+		}
+	}
+}

@@ -1,0 +1,311 @@
+// Package harris implements Harris's non-blocking linked-list set
+// (Algorithm 1 in Appendix B of the paper), the data structure at the
+// heart of the ERA theorem's lower bound.
+//
+// The defining property: search traverses *through* logically deleted
+// (marked) nodes without unlinking them one at a time — when it finally
+// finds its window it unlinks the whole marked run with one CAS. That is
+// what makes the list fast, access-aware (Appendix D), and fundamentally
+// incompatible with per-pointer protection schemes such as HP/HE/IBR
+// (Appendix E): a traversal can hold a reference into a marked run whose
+// nodes were already retired by their deleters and reclaimed.
+//
+// retire() placement follows the paper exactly: an insert that loses the
+// key-already-present race retires its fresh node (line 34); a delete
+// retires its victim after it is guaranteed unlinked (line 52). Nodes
+// unlinked in bulk by search are retired by their respective deleters.
+package harris
+
+import (
+	"repro/internal/ds"
+	"repro/internal/mem"
+	"repro/internal/smr"
+)
+
+// List is Harris's lock-free linked-list set.
+type List struct {
+	ds.Instr
+	s          smr.Scheme
+	head, tail mem.Ref
+}
+
+var _ ds.Set = (*List)(nil)
+
+// New builds an empty list over scheme s. The two sentinels are allocated
+// on behalf of thread 0.
+func New(s smr.Scheme, opt ds.Options) (*List, error) {
+	l := &List{Instr: ds.Instr{Opt: opt, A: s.Heap()}, s: s}
+	ds.RegisterLinks(s, []int{ds.WNext})
+	var err error
+	if l.tail, err = ds.NewSentinel(s, 0, ds.KeyMax); err != nil {
+		return nil, err
+	}
+	if l.head, err = ds.NewSentinel(s, 0, ds.KeyMin); err != nil {
+		return nil, err
+	}
+	if !s.WritePtr(0, l.head, ds.WNext, l.tail) {
+		return nil, ds.ErrCorrupted
+	}
+	return l, nil
+}
+
+// Name implements ds.Set.
+func (l *List) Name() string { return "harris" }
+
+// Head returns the head sentinel (used by the adversary scripts).
+func (l *List) Head() mem.Ref { return l.head }
+
+// Tail returns the tail sentinel.
+func (l *List) Tail() mem.Ref { return l.tail }
+
+// maxSteps bounds a single traversal. A healthy list can never be longer
+// than the heap; only an unsafe scheme that recycled memory under a
+// traversal can produce a cycle, and the bound turns that livelock into a
+// detectable ds.ErrCorrupted.
+const maxSteps = 1 << 22
+
+type status uint8
+
+const (
+	stOK status = iota
+	stRestart
+	stCorrupt
+)
+
+// search traverses from head to the first unmarked node with key >= key,
+// passing through marked nodes without unlinking them. It returns the
+// window (pred, predNext, curr) where predNext is the value read from
+// pred's next field (the expected value for an unlink CAS); stRestart
+// means the scheme demanded a rollback.
+//
+// Protection slots rotate over {0,1,2}: pred is protected in sp, curr in
+// sc, and each new target is read into the remaining slot.
+func (l *List) search(tid int, key int64) (pred, predNext, curr mem.Ref, st status) {
+	sp, sc := 0, 1
+	pred = l.head
+	pn, ok := l.s.ReadPtr(tid, sc, pred, ds.WNext)
+	if !ok {
+		return mem.NilRef, mem.NilRef, mem.NilRef, stRestart
+	}
+	l.Hit(tid, ds.PointSearchHead, uint64(key))
+	predNext = pn
+	curr = pn.WithoutMark()
+	for steps := 0; ; steps++ {
+		if steps > maxSteps || curr.IsNil() {
+			return mem.NilRef, mem.NilRef, mem.NilRef, stCorrupt
+		}
+		l.Hit(tid, ds.PointSearchStep, uint64(curr))
+		sn := 3 - sp - sc
+		cn, ok := l.s.ReadPtr(tid, sn, curr, ds.WNext)
+		if !ok {
+			return mem.NilRef, mem.NilRef, mem.NilRef, stRestart
+		}
+		if cn.Marked() {
+			// Logically deleted: traverse through without unlinking.
+			ckey, ok := l.s.Read(tid, curr, ds.WKey)
+			if !ok {
+				return mem.NilRef, mem.NilRef, mem.NilRef, stRestart
+			}
+			l.Hit(tid, ds.PointSearchVisitMarked, ckey)
+			curr = cn.WithoutMark()
+			sc = sn
+			continue
+		}
+		ckey, ok := l.s.Read(tid, curr, ds.WKey)
+		if !ok {
+			return mem.NilRef, mem.NilRef, mem.NilRef, stRestart
+		}
+		l.Hit(tid, ds.PointSearchVisit, ckey)
+		if int64(ckey) >= key {
+			return pred, predNext, curr, stOK
+		}
+		pred, predNext = curr, cn
+		sp, sc = sc, sn
+		curr = cn.WithoutMark()
+	}
+}
+
+// find runs search until it returns a clean window: pred directly links
+// to curr (unlinking any marked run in between, paper line 18) and curr is
+// unmarked (lines 14-16). Scheme-requested rollbacks simply rerun the
+// search — the operation entry point is the checkpoint.
+func (l *List) find(tid int, key int64) (pred, curr mem.Ref, err error) {
+	// The retry loop is bounded so that a persistently failing window
+	// (e.g. a dangling edge a simulated-wide-CAS window let slip in)
+	// surfaces as a detected ds.ErrCorrupted instead of a livelock.
+	for retries := 0; ; retries++ {
+		if retries > maxSteps {
+			return mem.NilRef, mem.NilRef, ds.ErrCorrupted
+		}
+		l.Phase(tid, ds.PhaseRead)
+		pred, predNext, curr, st := l.search(tid, key)
+		if st == stCorrupt {
+			return mem.NilRef, mem.NilRef, ds.ErrCorrupted
+		}
+		if st == stRestart {
+			continue
+		}
+		if predNext != curr {
+			// Unlink the marked run between pred and curr.
+			if !l.s.Reserve(tid, pred, curr) {
+				continue
+			}
+			l.Phase(tid, ds.PhaseWrite)
+			swapped, ok := l.s.CASPtr(tid, pred, ds.WNext, predNext, curr)
+			if !ok || !swapped {
+				continue
+			}
+		}
+		// Validate that curr was not marked meanwhile (paper line 15/21).
+		cn, ok := l.s.Read(tid, curr, ds.WNext)
+		if !ok || mem.Ref(cn).Marked() {
+			continue
+		}
+		return pred, curr, nil
+	}
+}
+
+// Contains implements ds.Set (paper lines 23-26).
+func (l *List) Contains(tid int, key int64) (bool, error) {
+	l.s.BeginOp(tid)
+	defer l.s.EndOp(tid)
+	for retries := 0; ; retries++ {
+		if retries > maxSteps {
+			return false, ds.ErrCorrupted
+		}
+		_, curr, err := l.find(tid, key)
+		if err != nil {
+			return false, err
+		}
+		cn, ok := l.s.Read(tid, curr, ds.WNext)
+		if !ok {
+			continue
+		}
+		ckey, ok := l.s.Read(tid, curr, ds.WKey)
+		if !ok {
+			continue
+		}
+		return !mem.Ref(cn).Marked() && int64(ckey) == key, nil
+	}
+}
+
+// Insert implements ds.Set (paper lines 27-38).
+func (l *List) Insert(tid int, key int64) (bool, error) {
+	l.s.BeginOp(tid)
+	defer l.s.EndOp(tid)
+	n, err := l.s.Alloc(tid)
+	if err != nil {
+		return false, err
+	}
+	l.s.Write(tid, n, ds.WKey, uint64(key))
+	for retries := 0; ; retries++ {
+		if retries > maxSteps {
+			return false, ds.ErrCorrupted
+		}
+		pred, curr, err := l.find(tid, key)
+		if err != nil {
+			return false, err
+		}
+		ckey, ok := l.s.Read(tid, curr, ds.WKey)
+		if !ok {
+			continue
+		}
+		if int64(ckey) == key {
+			l.s.Retire(tid, n) // paper line 34
+			return false, nil
+		}
+		if !l.s.WritePtr(tid, n, ds.WNext, curr) { // paper line 36
+			continue
+		}
+		if !l.s.Reserve(tid, pred, curr) {
+			continue
+		}
+		l.Phase(tid, ds.PhaseWrite)
+		if err := l.A.MarkShared(n); err != nil {
+			return false, err
+		}
+		swapped, ok := l.s.CASPtr(tid, pred, ds.WNext, curr, n) // paper line 37
+		if !ok {
+			continue
+		}
+		if swapped {
+			return true, nil
+		}
+	}
+}
+
+// Delete implements ds.Set (paper lines 39-53).
+func (l *List) Delete(tid int, key int64) (bool, error) {
+	l.s.BeginOp(tid)
+	defer l.s.EndOp(tid)
+	for retries := 0; ; retries++ {
+		if retries > maxSteps {
+			return false, ds.ErrCorrupted
+		}
+		pred, curr, err := l.find(tid, key)
+		if err != nil {
+			return false, err
+		}
+		ckey, ok := l.s.Read(tid, curr, ds.WKey)
+		if !ok {
+			continue
+		}
+		if int64(ckey) != key { // paper line 44
+			return false, nil
+		}
+		cn, ok := l.s.ReadPtr(tid, 3, curr, ds.WNext) // paper line 46
+		if !ok {
+			continue
+		}
+		if cn.Marked() {
+			continue // someone else is deleting curr; re-find
+		}
+		succ := cn
+		if !l.s.Reserve(tid, pred, curr, succ.WithoutMark()) {
+			continue
+		}
+		l.Phase(tid, ds.PhaseWrite)
+		swapped, ok := l.s.CASPtr(tid, curr, ds.WNext, succ, succ.WithMark()) // paper line 48
+		if !ok || !swapped {
+			continue
+		}
+		l.Hit(tid, ds.PointDeleteMarked, uint64(key))
+		// The delete is now linearized: curr is logically deleted and
+		// this thread owns its retirement. Unlink it (paper line 50), or
+		// let a search do it (line 51), then retire (line 52).
+		if swapped, _ := l.s.CASPtr(tid, pred, ds.WNext, curr, succ); !swapped {
+			if _, _, err := l.find(tid, key); err != nil {
+				return false, err
+			}
+		}
+		l.s.Retire(tid, curr)
+		return true, nil
+	}
+}
+
+// Keys walks the list without barriers and returns the unmarked keys in
+// order. It is only safe on a quiescent structure; tests use it to compare
+// against a model.
+func (l *List) Keys() []int64 {
+	var keys []int64
+	a := l.A
+	cur, _ := a.Load(0, l.head, ds.WNext)
+	for {
+		r := mem.Ref(cur).WithoutMark()
+		if r.IsNil() || r == l.tail {
+			return keys
+		}
+		k, err := a.Load(0, r, ds.WKey)
+		if err != nil {
+			return keys
+		}
+		next, err := a.Load(0, r, ds.WNext)
+		if err != nil {
+			return keys
+		}
+		if !mem.Ref(next).Marked() {
+			keys = append(keys, int64(k))
+		}
+		cur = next
+	}
+}

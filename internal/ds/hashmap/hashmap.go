@@ -1,0 +1,85 @@
+// Package hashmap implements a fixed-size lock-free hash set: an array of
+// buckets, each an independent Harris or Michael linked-list.
+//
+// The map exists for workload realism in the throughput experiments
+// (short chains, high locality, the setting the cited schemes were
+// evaluated in) and to show that applicability verdicts transfer
+// compositionally: a bucket built on Harris's list inherits Harris's
+// incompatibility with the protection-based schemes, a bucket built on
+// Michael's list does not.
+package hashmap
+
+import (
+	"fmt"
+
+	"repro/internal/ds"
+	"repro/internal/ds/harris"
+	"repro/internal/ds/michael"
+	"repro/internal/smr"
+)
+
+// Map is a fixed-bucket-count lock-free hash set.
+type Map struct {
+	name    string
+	buckets []ds.Set
+}
+
+var _ ds.Set = (*Map)(nil)
+
+// New builds a hash set with nbuckets buckets over scheme s. kind selects
+// the bucket implementation: "harris" or "michael".
+func New(s smr.Scheme, opt ds.Options, nbuckets int, kind string) (*Map, error) {
+	if nbuckets <= 0 {
+		nbuckets = 16
+	}
+	m := &Map{name: "hashmap-" + kind, buckets: make([]ds.Set, nbuckets)}
+	for i := range m.buckets {
+		var b ds.Set
+		var err error
+		switch kind {
+		case "harris":
+			b, err = harris.New(s, opt)
+		case "michael":
+			b, err = michael.New(s, opt)
+		default:
+			return nil, fmt.Errorf("hashmap: unknown bucket kind %q", kind)
+		}
+		if err != nil {
+			return nil, err
+		}
+		m.buckets[i] = b
+	}
+	return m, nil
+}
+
+// Name implements ds.Set.
+func (m *Map) Name() string { return m.name }
+
+// bucket hashes key to a bucket (Fibonacci hashing).
+func (m *Map) bucket(key int64) ds.Set {
+	h := uint64(key) * 0x9e3779b97f4a7c15
+	return m.buckets[h%uint64(len(m.buckets))]
+}
+
+// Insert implements ds.Set.
+func (m *Map) Insert(tid int, key int64) (bool, error) { return m.bucket(key).Insert(tid, key) }
+
+// Delete implements ds.Set.
+func (m *Map) Delete(tid int, key int64) (bool, error) { return m.bucket(key).Delete(tid, key) }
+
+// Contains implements ds.Set.
+func (m *Map) Contains(tid int, key int64) (bool, error) { return m.bucket(key).Contains(tid, key) }
+
+// Keys returns all unmarked keys; quiescent use only.
+func (m *Map) Keys() []int64 {
+	var keys []int64
+	for _, b := range m.buckets {
+		switch l := b.(type) {
+		case *harris.List:
+			keys = append(keys, l.Keys()...)
+		case *michael.List:
+			keys = append(keys, l.Keys()...)
+		}
+	}
+	return keys
+}

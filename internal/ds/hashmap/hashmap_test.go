@@ -1,0 +1,39 @@
+package hashmap_test
+
+import (
+	"testing"
+
+	"repro/internal/ds"
+	"repro/internal/ds/dstest"
+	"repro/internal/ds/hashmap"
+	"repro/internal/mem"
+)
+
+func TestSuiteHarrisBuckets(t *testing.T)  { dstest.RunSetSuite(t, "hashmap-harris") }
+func TestSuiteMichaelBuckets(t *testing.T) { dstest.RunSetSuite(t, "hashmap-michael") }
+
+// TestBucketKind rejects unknown bucket kinds.
+func TestBucketKind(t *testing.T) {
+	env := dstest.NewEnv(t, "ebr", 1, 1<<10, 2, mem.Reuse)
+	if _, err := hashmap.New(env.S, ds.Options{}, 4, "btree"); err == nil {
+		t.Fatal("expected error for unknown bucket kind")
+	}
+}
+
+// TestKeysUnion checks Keys() aggregates every bucket.
+func TestKeysUnion(t *testing.T) {
+	env := dstest.NewEnv(t, "ebr", 1, 1<<12, 2, mem.Reuse)
+	m, err := hashmap.New(env.S, ds.Options{}, 8, "michael")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := int64(0); k < 100; k++ {
+		if ok, err := m.Insert(0, k); err != nil || !ok {
+			t.Fatalf("insert(%d) = %v, %v", k, ok, err)
+		}
+	}
+	if got := len(m.Keys()); got != 100 {
+		t.Fatalf("Keys() returned %d keys, want 100", got)
+	}
+	env.AssertSafe(t)
+}

@@ -1,0 +1,247 @@
+// Package michael implements Michael's lock-free linked-list set (Michael,
+// SPAA 2002) — the hazard-pointer-compatible modification of Harris's list
+// that the paper's Section 6 discussion refers to.
+//
+// The difference from Harris's list is exactly the one the ERA theorem
+// turns on: a traversal never walks through a marked node. On meeting one
+// it immediately unlinks that single node (restarting on contention), so
+// at every step the traversal only holds references to nodes that a
+// protect-and-validate read could certify as un-retired. This makes the
+// list applicable to HP/HE/IBR — and slower under deletion-heavy loads,
+// because every traversal does the deleters' unlinking work one CAS at a
+// time (the effect EXP-MICHAEL measures).
+package michael
+
+import (
+	"repro/internal/ds"
+	"repro/internal/mem"
+	"repro/internal/smr"
+)
+
+// List is Michael's lock-free linked-list set.
+type List struct {
+	ds.Instr
+	s          smr.Scheme
+	head, tail mem.Ref
+}
+
+var _ ds.Set = (*List)(nil)
+
+// New builds an empty list over scheme s.
+func New(s smr.Scheme, opt ds.Options) (*List, error) {
+	l := &List{Instr: ds.Instr{Opt: opt, A: s.Heap()}, s: s}
+	ds.RegisterLinks(s, []int{ds.WNext})
+	var err error
+	if l.tail, err = ds.NewSentinel(s, 0, ds.KeyMax); err != nil {
+		return nil, err
+	}
+	if l.head, err = ds.NewSentinel(s, 0, ds.KeyMin); err != nil {
+		return nil, err
+	}
+	if !s.WritePtr(0, l.head, ds.WNext, l.tail) {
+		return nil, ds.ErrCorrupted
+	}
+	return l, nil
+}
+
+// Name implements ds.Set.
+func (l *List) Name() string { return "michael" }
+
+// Head returns the head sentinel (used by verifiers and adversaries).
+func (l *List) Head() mem.Ref { return l.head }
+
+// Tail returns the tail sentinel.
+func (l *List) Tail() mem.Ref { return l.tail }
+
+const maxSteps = 1 << 22
+
+// find locates the window (pred, curr) for key: curr is the first unmarked
+// node with key >= key and pred directly precedes it. Marked nodes are
+// unlinked one at a time as they are met; any contention or scheme
+// rollback restarts the traversal from head.
+func (l *List) find(tid int, key int64) (pred, curr mem.Ref, err error) {
+	steps := 0
+retry:
+	for {
+		l.Phase(tid, ds.PhaseRead)
+		sp, sc := 0, 1
+		pred = l.head
+		pn, ok := l.s.ReadPtr(tid, sc, pred, ds.WNext)
+		if !ok {
+			continue
+		}
+		l.Hit(tid, ds.PointSearchHead, uint64(key))
+		curr = pn.WithoutMark()
+		for {
+			if steps++; steps > maxSteps {
+				return mem.NilRef, mem.NilRef, ds.ErrCorrupted
+			}
+			if curr.IsNil() {
+				return mem.NilRef, mem.NilRef, ds.ErrCorrupted
+			}
+			sn := 3 - sp - sc
+			cn, ok := l.s.ReadPtr(tid, sn, curr, ds.WNext)
+			if !ok {
+				continue retry
+			}
+			if cn.Marked() {
+				// Unlink this single marked node before proceeding —
+				// never traverse through it (the Michael discipline).
+				if !l.s.Reserve(tid, pred, curr) {
+					continue retry
+				}
+				l.Phase(tid, ds.PhaseWrite)
+				swapped, ok := l.s.CASPtr(tid, pred, ds.WNext, curr, cn.WithoutMark())
+				if !ok || !swapped {
+					continue retry
+				}
+				l.Phase(tid, ds.PhaseRead)
+				curr = cn.WithoutMark()
+				sc = sn
+				continue
+			}
+			ckey, ok := l.s.Read(tid, curr, ds.WKey)
+			if !ok {
+				continue retry
+			}
+			l.Hit(tid, ds.PointSearchVisit, ckey)
+			if int64(ckey) >= key {
+				return pred, curr, nil
+			}
+			pred = curr
+			sp, sc = sc, sn
+			curr = cn.WithoutMark()
+		}
+	}
+}
+
+// Contains implements ds.Set.
+func (l *List) Contains(tid int, key int64) (bool, error) {
+	l.s.BeginOp(tid)
+	defer l.s.EndOp(tid)
+	for {
+		_, curr, err := l.find(tid, key)
+		if err != nil {
+			return false, err
+		}
+		cn, ok := l.s.Read(tid, curr, ds.WNext)
+		if !ok {
+			continue
+		}
+		ckey, ok := l.s.Read(tid, curr, ds.WKey)
+		if !ok {
+			continue
+		}
+		return !mem.Ref(cn).Marked() && int64(ckey) == key, nil
+	}
+}
+
+// Insert implements ds.Set.
+func (l *List) Insert(tid int, key int64) (bool, error) {
+	l.s.BeginOp(tid)
+	defer l.s.EndOp(tid)
+	n, err := l.s.Alloc(tid)
+	if err != nil {
+		return false, err
+	}
+	l.s.Write(tid, n, ds.WKey, uint64(key))
+	for {
+		pred, curr, err := l.find(tid, key)
+		if err != nil {
+			return false, err
+		}
+		ckey, ok := l.s.Read(tid, curr, ds.WKey)
+		if !ok {
+			continue
+		}
+		if int64(ckey) == key {
+			l.s.Retire(tid, n)
+			return false, nil
+		}
+		if !l.s.WritePtr(tid, n, ds.WNext, curr) {
+			continue
+		}
+		if !l.s.Reserve(tid, pred, curr) {
+			continue
+		}
+		l.Phase(tid, ds.PhaseWrite)
+		if err := l.A.MarkShared(n); err != nil {
+			return false, err
+		}
+		swapped, ok := l.s.CASPtr(tid, pred, ds.WNext, curr, n)
+		if !ok {
+			continue
+		}
+		if swapped {
+			return true, nil
+		}
+	}
+}
+
+// Delete implements ds.Set.
+func (l *List) Delete(tid int, key int64) (bool, error) {
+	l.s.BeginOp(tid)
+	defer l.s.EndOp(tid)
+	for {
+		pred, curr, err := l.find(tid, key)
+		if err != nil {
+			return false, err
+		}
+		ckey, ok := l.s.Read(tid, curr, ds.WKey)
+		if !ok {
+			continue
+		}
+		if int64(ckey) != key {
+			return false, nil
+		}
+		cn, ok := l.s.ReadPtr(tid, 3, curr, ds.WNext)
+		if !ok {
+			continue
+		}
+		if cn.Marked() {
+			continue
+		}
+		succ := cn
+		if !l.s.Reserve(tid, pred, curr, succ.WithoutMark()) {
+			continue
+		}
+		l.Phase(tid, ds.PhaseWrite)
+		swapped, ok := l.s.CASPtr(tid, curr, ds.WNext, succ, succ.WithMark())
+		if !ok || !swapped {
+			continue
+		}
+		// Linearized. Unlink (or let a traversal do it), then retire.
+		if swapped, _ := l.s.CASPtr(tid, pred, ds.WNext, curr, succ); !swapped {
+			if _, _, err := l.find(tid, key); err != nil {
+				return false, err
+			}
+		}
+		l.s.Retire(tid, curr)
+		return true, nil
+	}
+}
+
+// Keys walks the list without barriers; quiescent use only.
+func (l *List) Keys() []int64 {
+	var keys []int64
+	a := l.A
+	cur, _ := a.Load(0, l.head, ds.WNext)
+	for {
+		r := mem.Ref(cur).WithoutMark()
+		if r.IsNil() || r == l.tail {
+			return keys
+		}
+		k, err := a.Load(0, r, ds.WKey)
+		if err != nil {
+			return keys
+		}
+		next, err := a.Load(0, r, ds.WNext)
+		if err != nil {
+			return keys
+		}
+		if !mem.Ref(next).Marked() {
+			keys = append(keys, int64(k))
+		}
+		cur = next
+	}
+}

@@ -1,0 +1,45 @@
+package michael_test
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/ds"
+	"repro/internal/ds/dstest"
+	"repro/internal/ds/michael"
+	"repro/internal/mem"
+)
+
+func TestSuite(t *testing.T) { dstest.RunSetSuite(t, "michael") }
+
+// TestSortedInvariant checks ordering after heavy churn.
+func TestSortedInvariant(t *testing.T) {
+	env := dstest.NewEnv(t, "hp", 4, 1<<16, 2, mem.Reuse)
+	l, err := michael.New(env.S, ds.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dstest.DisjointChurnSet(t, env, l, 2000, 64)
+	keys := l.Keys()
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatalf("keys not sorted: %v", keys)
+	}
+	env.AssertSafe(t)
+}
+
+// TestHPCompatibility pins the contrast with Harris's list (Section 6
+// Discussion): Michael's list never traverses a retired node, so hazard
+// pointers stay safe even in Unmap mode, where any access to reclaimed
+// memory would be a simulated segfault.
+func TestHPCompatibility(t *testing.T) {
+	env := dstest.NewEnv(t, "hp", 4, 1<<16, 2, mem.Unmap)
+	l, err := michael.New(env.S, ds.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dstest.DisjointChurnSet(t, env, l, 1500, 32)
+	if f := env.A.Stats().Faults(); f != 0 {
+		t.Fatalf("HP on Michael's list took %d segfaults", f)
+	}
+	env.AssertSafe(t)
+}

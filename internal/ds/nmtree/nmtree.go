@@ -1,0 +1,562 @@
+// Package nmtree implements the Natarajan & Mittal lock-free external
+// binary search tree (PPoPP 2014) — reference [33] of the ERA paper —
+// expressed over the smr.Scheme barrier interface.
+//
+// The tree is external: internal nodes route, leaves store keys. Deletion
+// is edge-based: the deleter FLAGs the edge to the victim leaf (the mark
+// bit of the edge's mem.Ref), TAGs the edge to the sibling (the aux bit),
+// and then splices the sibling up with a single CAS on the ancestor's
+// edge. Concurrent deletions stack: one ancestor CAS can complete several
+// of them at once, detaching a chain of internal nodes together with their
+// flagged victim leaves.
+//
+// Why it matters for the ERA theorem: like Harris's list, searches pass
+// through flagged and tagged edges without helping, so a traversal can
+// stand inside a detached (retired, possibly reclaimed) region — the
+// access pattern that defeats protect-and-validate schemes (HP, HE, IBR).
+//
+// retire() placement: the thread whose ancestor CAS detaches a chain owns
+// the retirement of every detached internal node and flagged leaf; other
+// deleters observe their victim gone after a re-seek and return without
+// retiring, so each node is retired exactly once and only after it is
+// unreachable (Section 4.1 of the paper).
+package nmtree
+
+import (
+	"fmt"
+
+	"repro/internal/ds"
+	"repro/internal/mem"
+	"repro/internal/smr"
+)
+
+// Node payload layout.
+const (
+	// WKey is the routing/stored key.
+	WKey = ds.WKey
+	// WLeft and WRight are the child edges (mem.Ref values; the mark bit
+	// is the Natarajan-Mittal FLAG, the aux bit the TAG).
+	WLeft  = 1
+	WRight = 2
+	// WIsLeaf distinguishes leaves (1) from internal nodes (0); immutable
+	// after publication.
+	WIsLeaf = 3
+	// PayloadWords is the arena payload size this structure requires.
+	PayloadWords = 4
+)
+
+// Sentinel keys: all user keys must be strictly below inf1.
+const (
+	inf1 = ds.KeyMax - 1
+	inf2 = ds.KeyMax
+)
+
+// Tree is the Natarajan-Mittal external BST.
+type Tree struct {
+	ds.Instr
+	s smr.Scheme
+	// root ("R") and child ("S") sentinel internal nodes.
+	root, child mem.Ref
+}
+
+var _ ds.Set = (*Tree)(nil)
+
+// New builds an empty tree over scheme s: R(inf2) -> {S(inf1), leaf(inf2)},
+// S(inf1) -> {leaf(inf1), leaf(inf2)}.
+func New(s smr.Scheme, opt ds.Options) (*Tree, error) {
+	if s.Heap().Config().PayloadWords < PayloadWords {
+		return nil, ds.ErrCorrupted
+	}
+	t := &Tree{Instr: ds.Instr{Opt: opt, A: s.Heap()}, s: s}
+	ds.RegisterLinks(s, []int{WLeft, WRight})
+	mk := func(key int64, leaf bool) (mem.Ref, error) {
+		r, err := s.Alloc(0)
+		if err != nil {
+			return mem.NilRef, err
+		}
+		isLeaf := uint64(0)
+		if leaf {
+			isLeaf = 1
+		}
+		if !s.Write(0, r, WKey, uint64(key)) || !s.Write(0, r, WIsLeaf, isLeaf) {
+			return mem.NilRef, ds.ErrCorrupted
+		}
+		if err := s.Heap().MarkShared(r); err != nil {
+			return mem.NilRef, err
+		}
+		return r, nil
+	}
+	leafInf1, err := mk(inf1, true)
+	if err != nil {
+		return nil, err
+	}
+	leafInf2a, err := mk(inf2, true)
+	if err != nil {
+		return nil, err
+	}
+	leafInf2b, err := mk(inf2, true)
+	if err != nil {
+		return nil, err
+	}
+	if t.child, err = mk(inf1, false); err != nil {
+		return nil, err
+	}
+	if t.root, err = mk(inf2, false); err != nil {
+		return nil, err
+	}
+	if !s.WritePtr(0, t.child, WLeft, leafInf1) ||
+		!s.WritePtr(0, t.child, WRight, leafInf2a) ||
+		!s.WritePtr(0, t.root, WLeft, t.child) ||
+		!s.WritePtr(0, t.root, WRight, leafInf2b) {
+		return nil, ds.ErrCorrupted
+	}
+	return t, nil
+}
+
+// Name implements ds.Set.
+func (t *Tree) Name() string { return "nmtree" }
+
+// Root returns the root sentinel (used by verifiers and adversaries).
+func (t *Tree) Root() mem.Ref { return t.root }
+
+const maxSteps = 1 << 22
+
+type status uint8
+
+const (
+	stOK status = iota
+	stRestart
+	stCorrupt
+)
+
+// childWord picks the edge word for key at an internal node with nodeKey.
+func childWord(key int64, nodeKey int64) int {
+	if key < nodeKey {
+		return WLeft
+	}
+	return WRight
+}
+
+// seekRec is the paper's seek record: ancestor's edge to successor was the
+// last clean (untagged) edge on the path; parent's edge leads to the leaf.
+type seekRec struct {
+	ancestor  mem.Ref
+	ancWord   int
+	ancEdge   mem.Ref // exact edge value read at ancestor (CAS expected)
+	successor mem.Ref
+	parent    mem.Ref
+	leaf      mem.Ref // bare leaf reference
+	leafKey   int64
+}
+
+// seek descends from the root to the leaf on key's search path, tracking
+// the last untagged edge (ancestor -> successor). It never helps: flagged
+// and tagged edges are traversed as-is, which is what lets it stand inside
+// detached regions.
+func (t *Tree) seek(tid int, key int64, r *seekRec) status {
+	r.ancestor = t.root
+	r.ancWord = WLeft
+	ancEdge, ok := t.s.ReadPtr(tid, 0, t.root, WLeft)
+	if !ok {
+		return stRestart
+	}
+	t.Hit(tid, ds.PointSearchHead, uint64(key))
+	r.ancEdge = ancEdge
+	r.successor = ancEdge.Bare()
+	r.parent = r.successor
+	cur := r.successor
+
+	// Descend from S's child.
+	parentEdge, ok := t.s.ReadPtr(tid, 1, cur, childWord(key, inf1))
+	if !ok {
+		return stRestart
+	}
+	prev := cur
+	prevWord := childWord(key, inf1)
+	cur = parentEdge.Bare()
+
+	for steps := 0; ; steps++ {
+		if steps > maxSteps {
+			return stCorrupt
+		}
+		if cur.IsNil() {
+			// A nil edge is the in-flight state of the simulated wide
+			// CAS's undo (DESIGN.md, limitation 5): transient, so restart
+			// the operation; the callers' bounded retry loops escalate
+			// persistence to detected corruption.
+			t.s.Stats().Restarts.Add(1)
+			return stRestart
+		}
+		t.Hit(tid, ds.PointSearchStep, uint64(cur))
+		isLeaf, ok := t.s.Read(tid, cur, WIsLeaf)
+		if !ok {
+			return stRestart
+		}
+		ckey, ok := t.s.Read(tid, cur, WKey)
+		if !ok {
+			return stRestart
+		}
+		if isLeaf == 1 {
+			t.Hit(tid, ds.PointSearchVisit, ckey)
+			r.parent = prev
+			r.leaf = cur
+			r.leafKey = int64(ckey)
+			return stOK
+		}
+		// Advance. The edge prev -> cur updates (ancestor, successor)
+		// when it is untagged.
+		if !parentEdge.Aux() {
+			r.ancestor = prev
+			r.ancWord = prevWord
+			r.ancEdge = parentEdge
+			r.successor = cur
+		}
+		w := childWord(key, int64(ckey))
+		nextEdge, ok := t.s.ReadPtr(tid, 2, cur, w)
+		if !ok {
+			return stRestart
+		}
+		prev, prevWord, parentEdge = cur, w, nextEdge
+		cur = nextEdge.Bare()
+	}
+}
+
+// cleanup attempts to complete the deletion pending at r's parent: TAG the
+// keep edge, then splice it up over the ancestor's edge. Returns whether
+// the splice CAS succeeded; the successful thread retires the whole
+// detached chain. ok=false reports a scheme rollback.
+func (t *Tree) cleanup(tid int, key int64, r *seekRec) (done bool, ok bool) {
+	leafWord := childWord(key, keyOf(t, tid, r.parent))
+	sibWord := WLeft + WRight - leafWord
+
+	le, rok := t.s.Read(tid, r.parent, leafWord)
+	if !rok {
+		return false, false
+	}
+	keepWord := sibWord
+	if !mem.Ref(le).Marked() {
+		se, rok := t.s.Read(tid, r.parent, sibWord)
+		if !rok {
+			return false, false
+		}
+		if !mem.Ref(se).Marked() {
+			// No deletion is pending at this parent (it resolved between
+			// the caller's check and now): nothing to clean. Flags are
+			// never cleared in place — they resolve only by detaching the
+			// parent — so a live parent with a pending deletion always
+			// shows the flag here.
+			return false, true
+		}
+		// The flag is on the sibling edge: keep the key-side child.
+		keepWord = leafWord
+	}
+	// TAG the keep edge (preserving any carried flag).
+	var keep mem.Ref
+	for i := 0; ; i++ {
+		if i > maxSteps {
+			return false, false
+		}
+		kv, rok := t.s.Read(tid, r.parent, keepWord)
+		if !rok {
+			return false, false
+		}
+		keep = mem.Ref(kv)
+		if keep.Aux() {
+			break
+		}
+		swapped, rok := t.s.CASPtr(tid, r.parent, keepWord, keep, keep.WithAux())
+		if !rok {
+			return false, false
+		}
+		if swapped {
+			keep = keep.WithAux()
+			break
+		}
+	}
+	if !t.s.Reserve(tid, r.ancestor, r.parent) {
+		return false, false
+	}
+	t.Phase(tid, ds.PhaseWrite)
+	// Splice: the keep edge's target replaces successor, carrying the
+	// keep edge's flag but not its tag.
+	swapped, rok := t.s.CASPtr(tid, r.ancestor, r.ancWord, r.ancEdge, keep.WithoutAux())
+	if !rok {
+		return false, false
+	}
+	if !swapped {
+		return false, true
+	}
+	// We detached the chain successor..parent: retire it.
+	if !t.retireChain(tid, r, keepWord) {
+		return false, false
+	}
+	return true, true
+}
+
+// keyOf reads a node's key without rollback handling (keys are immutable;
+// a stale read is repaired by the caller's retry loop).
+func keyOf(t *Tree, tid int, r mem.Ref) int64 {
+	k, _ := t.s.Read(tid, r, WKey)
+	return int64(k)
+}
+
+// retireChain retires every node detached by a successful splice: the
+// internal nodes from successor down to parent and their flagged victim
+// leaves. The child kept by the splice (keepWord at parent) stays alive.
+// Intermediate chain nodes have exactly one internal child (the chain
+// continuation); their other child is a flagged victim leaf.
+//
+// The chain is exclusively owned (our CAS detached it) and the nodes are
+// still active until we retire them, so the walk reads the arena raw: no
+// barrier, no rollback — a mid-walk abort would leak part of the chain.
+// Stale helpers may still set aux bits on these edges concurrently; the
+// walk keys off the immutable WIsLeaf word, not the control bits.
+func (t *Tree) retireChain(tid int, r *seekRec, parentKeepWord int) bool {
+	cur := r.successor
+	for i := 0; ; i++ {
+		if i > maxSteps {
+			return false
+		}
+		if cur.SameNode(r.parent) {
+			victimWord := WLeft + WRight - parentKeepWord
+			ve, err := t.A.Load(tid, cur, victimWord)
+			if err != nil {
+				return false
+			}
+			if v := mem.Ref(ve).Bare(); !v.IsNil() {
+				t.s.Retire(tid, v)
+			}
+			t.s.Retire(tid, cur)
+			return true
+		}
+		le, err := t.A.Load(tid, cur, WLeft)
+		if err != nil {
+			return false
+		}
+		re, err := t.A.Load(tid, cur, WRight)
+		if err != nil {
+			return false
+		}
+		l, rr := mem.Ref(le).Bare(), mem.Ref(re).Bare()
+		if l.IsNil() || rr.IsNil() {
+			return false
+		}
+		lLeaf, err := t.A.Load(tid, l, WIsLeaf)
+		if err != nil {
+			return false
+		}
+		var victim, next mem.Ref
+		if lLeaf == 1 {
+			victim, next = l, rr
+		} else {
+			victim, next = rr, l
+		}
+		t.s.Retire(tid, victim)
+		t.s.Retire(tid, cur)
+		cur = next
+	}
+}
+
+// Contains implements ds.Set: a plain seek.
+func (t *Tree) Contains(tid int, key int64) (bool, error) {
+	t.s.BeginOp(tid)
+	defer t.s.EndOp(tid)
+	var r seekRec
+	for {
+		t.Phase(tid, ds.PhaseRead)
+		switch t.seek(tid, key, &r) {
+		case stCorrupt:
+			return false, fmt.Errorf("%w: contains seek", ds.ErrCorrupted)
+		case stRestart:
+			continue
+		}
+		return r.leafKey == key, nil
+	}
+}
+
+// Insert implements ds.Set: replace the reached leaf with a fresh internal
+// node routing to {new leaf, old leaf}.
+func (t *Tree) Insert(tid int, key int64) (bool, error) {
+	if key >= inf1 {
+		return false, ds.ErrCorrupted // sentinel key space
+	}
+	t.s.BeginOp(tid)
+	defer t.s.EndOp(tid)
+	newLeaf, err := t.s.Alloc(tid)
+	if err != nil {
+		return false, err
+	}
+	t.s.Write(tid, newLeaf, WKey, uint64(key))
+	t.s.Write(tid, newLeaf, WIsLeaf, 1)
+	newInt, err := t.s.Alloc(tid)
+	if err != nil {
+		return false, err
+	}
+	t.s.Write(tid, newInt, WIsLeaf, 0)
+
+	var r seekRec
+	for steps := 0; ; steps++ {
+		if steps > maxSteps {
+			return false, fmt.Errorf("%w: insert retry livelock", ds.ErrCorrupted)
+		}
+		t.Phase(tid, ds.PhaseRead)
+		switch t.seek(tid, key, &r) {
+		case stCorrupt:
+			return false, fmt.Errorf("%w: insert seek", ds.ErrCorrupted)
+		case stRestart:
+			continue
+		}
+		if r.leafKey == key {
+			t.s.Retire(tid, newLeaf)
+			t.s.Retire(tid, newInt)
+			return false, nil
+		}
+		// Route: internal key is the larger of the two; smaller goes left.
+		intKey, left, right := int64(r.leafKey), r.leaf, newLeaf
+		if key > r.leafKey {
+			intKey, left, right = key, r.leaf, newLeaf
+		} else {
+			intKey, left, right = r.leafKey, newLeaf, r.leaf
+		}
+		if !t.s.Write(tid, newInt, WKey, uint64(intKey)) ||
+			!t.s.WritePtr(tid, newInt, WLeft, left) ||
+			!t.s.WritePtr(tid, newInt, WRight, right) {
+			continue
+		}
+		leafWord := childWord(key, keyOf(t, tid, r.parent))
+		if !t.s.Reserve(tid, r.parent, r.leaf) {
+			continue
+		}
+		t.Phase(tid, ds.PhaseWrite)
+		if err := t.A.MarkShared(newLeaf); err != nil {
+			return false, err
+		}
+		if err := t.A.MarkShared(newInt); err != nil {
+			return false, err
+		}
+		swapped, ok := t.s.CASPtr(tid, r.parent, leafWord, r.leaf, newInt)
+		if !ok {
+			continue
+		}
+		if swapped {
+			return true, nil
+		}
+		// Failed: if a deletion is pending at this edge, help it.
+		ev, ok := t.s.Read(tid, r.parent, leafWord)
+		if !ok {
+			continue
+		}
+		edge := mem.Ref(ev)
+		if edge.Bare().SameNode(r.leaf) && (edge.Marked() || edge.Aux()) {
+			if _, ok := t.cleanup(tid, key, &r); !ok {
+				continue
+			}
+		}
+	}
+}
+
+// Delete implements ds.Set: INJECTION (flag the victim edge), then
+// CLEANUP (tag the keep edge and splice), helping and retrying as needed.
+func (t *Tree) Delete(tid int, key int64) (bool, error) {
+	t.s.BeginOp(tid)
+	defer t.s.EndOp(tid)
+	var r seekRec
+	injected := false
+	var victim mem.Ref
+	for steps := 0; ; steps++ {
+		if steps > maxSteps {
+			return false, fmt.Errorf("%w: delete retry livelock", ds.ErrCorrupted)
+		}
+		t.Phase(tid, ds.PhaseRead)
+		switch t.seek(tid, key, &r) {
+		case stCorrupt:
+			return false, fmt.Errorf("%w: delete seek", ds.ErrCorrupted)
+		case stRestart:
+			continue
+		}
+		if !injected {
+			if r.leafKey != key {
+				return false, nil
+			}
+			leafWord := childWord(key, keyOf(t, tid, r.parent))
+			if !t.s.Reserve(tid, r.parent, r.leaf) {
+				continue
+			}
+			t.Phase(tid, ds.PhaseWrite)
+			swapped, ok := t.s.CASPtr(tid, r.parent, leafWord, r.leaf, r.leaf.WithMark())
+			if !ok {
+				continue
+			}
+			if !swapped {
+				// Help any deletion pending at this edge, then retry.
+				ev, ok := t.s.Read(tid, r.parent, leafWord)
+				if !ok {
+					continue
+				}
+				edge := mem.Ref(ev)
+				if edge.Bare().SameNode(r.leaf) && (edge.Marked() || edge.Aux()) {
+					if _, ok := t.cleanup(tid, key, &r); !ok {
+						continue
+					}
+				}
+				continue
+			}
+			t.Hit(tid, ds.PointDeleteMarked, uint64(key))
+			injected = true
+			victim = r.leaf
+			done, ok := t.cleanup(tid, key, &r)
+			if ok && done {
+				return true, nil
+			}
+			continue
+		}
+		// CLEANUP mode: if our flagged victim is gone, someone else's
+		// splice completed our deletion.
+		if !r.leaf.SameNode(victim) {
+			return true, nil
+		}
+		done, ok := t.cleanup(tid, key, &r)
+		if ok && done {
+			return true, nil
+		}
+	}
+}
+
+// Keys walks the tree without barriers and returns the leaf keys in order
+// (sentinel leaves excluded). Only safe on a quiescent structure.
+func (t *Tree) Keys() []int64 {
+	var keys []int64
+	var walk func(r mem.Ref)
+	walk = func(r mem.Ref) {
+		r = r.Bare()
+		if r.IsNil() {
+			return
+		}
+		isLeaf, err := t.A.Load(0, r, WIsLeaf)
+		if err != nil {
+			return
+		}
+		k, err := t.A.Load(0, r, WKey)
+		if err != nil {
+			return
+		}
+		if isLeaf == 1 {
+			if int64(k) < inf1 {
+				keys = append(keys, int64(k))
+			}
+			return
+		}
+		l, err := t.A.Load(0, r, WLeft)
+		if err != nil {
+			return
+		}
+		rr, err := t.A.Load(0, r, WRight)
+		if err != nil {
+			return
+		}
+		walk(mem.Ref(l))
+		walk(mem.Ref(rr))
+	}
+	walk(t.root)
+	return keys
+}

@@ -1,0 +1,440 @@
+// Package skiplist implements a lock-free skip list set in the style of
+// Fraser and Herlihy & Shavit (The Art of Multiprocessor Programming,
+// chapter 14.4), expressed over the smr.Scheme barrier interface.
+//
+// The skip list matters to the paper's Section 5.1 discussion: the number
+// of hazard pointers a traversal must hold is not a structure-independent
+// constant — it grows with the tower height, i.e. with the logarithm of the
+// data-structure size. This package keeps the height fixed (MaxHeight) so
+// per-pointer schemes have a well-defined slot budget, but the protection
+// rotation per level is still visible in the ReadPtr idx discipline.
+//
+// retire() placement: the thread whose CAS marks level 0 of a victim owns
+// the deletion; it re-runs find, which physically snips the victim from
+// every level it is still linked at, and only then retires it — nodes are
+// always unreachable before they are retired (Section 4.1 of the paper).
+package skiplist
+
+import (
+	"fmt"
+
+	"repro/internal/ds"
+	"repro/internal/mem"
+	"repro/internal/smr"
+)
+
+// MaxHeight is the fixed tower-height cap. 12 levels comfortably cover the
+// heap sizes the experiments use (2^12 expected nodes per top-level link).
+const MaxHeight = 12
+
+// Node payload layout: word 0 key, word 1 tower height, words 2..2+h-1 the
+// per-level next references (level 0 at WLevel0).
+const (
+	WHeight = 1
+	WLevel0 = 2
+	// PayloadWords is the arena payload size this structure requires.
+	PayloadWords = WLevel0 + MaxHeight
+)
+
+// List is the lock-free skip list set.
+type List struct {
+	ds.Instr
+	s          smr.Scheme
+	head, tail mem.Ref
+}
+
+var _ ds.Set = (*List)(nil)
+
+// New builds an empty skip list over scheme s. Sentinels are full-height.
+func New(s smr.Scheme, opt ds.Options) (*List, error) {
+	if s.Heap().Config().PayloadWords < PayloadWords {
+		return nil, ds.ErrCorrupted
+	}
+	l := &List{Instr: ds.Instr{Opt: opt, A: s.Heap()}, s: s}
+	links := make([]int, MaxHeight)
+	for i := range links {
+		links[i] = WLevel0 + i
+	}
+	ds.RegisterLinks(s, links)
+	var err error
+	if l.tail, err = ds.NewSentinel(s, 0, ds.KeyMax); err != nil {
+		return nil, err
+	}
+	if !s.Write(0, l.tail, WHeight, MaxHeight) {
+		return nil, ds.ErrCorrupted
+	}
+	if l.head, err = ds.NewSentinel(s, 0, ds.KeyMin); err != nil {
+		return nil, err
+	}
+	if !s.Write(0, l.head, WHeight, MaxHeight) {
+		return nil, ds.ErrCorrupted
+	}
+	for lv := 0; lv < MaxHeight; lv++ {
+		if !s.WritePtr(0, l.head, WLevel0+lv, l.tail) {
+			return nil, ds.ErrCorrupted
+		}
+	}
+	return l, nil
+}
+
+// Name implements ds.Set.
+func (l *List) Name() string { return "skiplist" }
+
+// Head returns the head sentinel.
+func (l *List) Head() mem.Ref { return l.head }
+
+const maxSteps = 1 << 22
+
+type status uint8
+
+const (
+	stOK status = iota
+	stRestart
+	// stCorrupt variants name the detection site for diagnostics.
+	stCorruptRetry // outer retry loop exceeded maxSteps
+	stCorruptWalk  // a level walk exceeded maxSteps (cycle)
+	stCorruptNil   // a level edge dereferenced to nil
+)
+
+func corrupt(st status) bool { return st >= stCorruptRetry }
+
+func corruptErr(st status) error {
+	switch st {
+	case stCorruptRetry:
+		return fmt.Errorf("%w: find retry livelock", ds.ErrCorrupted)
+	case stCorruptWalk:
+		return fmt.Errorf("%w: level walk livelock (cycle)", ds.ErrCorrupted)
+	}
+	return fmt.Errorf("%w: nil level edge", ds.ErrCorrupted)
+}
+
+// randomHeight draws a geometric tower height from a key-and-thread seeded
+// xorshift, so runs are reproducible without a global RNG.
+func randomHeight(tid int, key int64) int {
+	x := uint64(key)*0x9e3779b97f4a7c15 + uint64(tid)*0xbf58476d1ce4e5b9 + 1
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	h := 1
+	for x&1 == 1 && h < MaxHeight {
+		h++
+		x >>= 1
+	}
+	return h
+}
+
+// find locates the window for key on every level: preds[l] is the last
+// node with key < key at level l, succs[l] the first with key >= key.
+// Marked nodes encountered on the way are physically snipped (this is the
+// only place unlinking happens). found reports an unmarked level-0 match.
+// maxNilRetries bounds restarts on a momentarily-nil level edge. The
+// simulated wide CAS undoes stale link installs after the fact (see
+// DESIGN.md, limitation 5); a reader can glimpse the in-flight state as a
+// nil edge. Such glimpses are transient — a bounded number of restarts
+// absorbs them, and persistence still escalates to detected corruption.
+const maxNilRetries = 1 << 14
+
+func (l *List) find(tid int, key int64, preds, succs *[MaxHeight]mem.Ref) (found bool, st status) {
+	nilRetries := 0
+retry:
+	for steps := 0; ; steps++ {
+		if steps > maxSteps {
+			return false, stCorruptRetry
+		}
+		pred := l.head
+		// Protection slots: 0 for pred, 1 for curr, 2 for succ, rotating
+		// as the traversal advances.
+		for lv := MaxHeight - 1; lv >= 0; lv-- {
+			curr, ok := l.s.ReadPtr(tid, 1, pred, WLevel0+lv)
+			if !ok {
+				return false, stRestart
+			}
+			if lv == MaxHeight-1 {
+				l.Hit(tid, ds.PointSearchHead, uint64(key))
+			}
+			curr = curr.WithoutMark()
+			for inner := 0; ; inner++ {
+				if inner > maxSteps {
+					return false, stCorruptWalk
+				}
+				if curr.IsNil() {
+					if nilRetries++; nilRetries > maxNilRetries {
+						return false, stCorruptNil
+					}
+					continue retry
+				}
+				succ, ok := l.s.ReadPtr(tid, 2, curr, WLevel0+lv)
+				if !ok {
+					return false, stRestart
+				}
+				for succ.Marked() {
+					// curr is logically deleted at this level: snip it.
+					swapped, ok := l.s.CASPtr(tid, pred, WLevel0+lv, curr, succ.WithoutMark())
+					if !ok {
+						return false, stRestart
+					}
+					if !swapped {
+						continue retry
+					}
+					curr = succ.WithoutMark()
+					if curr.IsNil() {
+						if nilRetries++; nilRetries > maxNilRetries {
+							return false, stCorruptNil
+						}
+						continue retry
+					}
+					if succ, ok = l.s.ReadPtr(tid, 2, curr, WLevel0+lv); !ok {
+						return false, stRestart
+					}
+				}
+				ckey, ok := l.s.Read(tid, curr, ds.WKey)
+				if !ok {
+					return false, stRestart
+				}
+				l.Hit(tid, ds.PointSearchVisit, ckey)
+				if int64(ckey) < key {
+					pred = curr
+					curr = succ.WithoutMark()
+					continue
+				}
+				preds[lv] = pred
+				succs[lv] = curr
+				break
+			}
+		}
+		skey, ok := l.s.Read(tid, succs[0], ds.WKey)
+		if !ok {
+			return false, stRestart
+		}
+		return int64(skey) == key, stOK
+	}
+}
+
+// Contains implements ds.Set. It uses the same snipping find; a wait-free
+// traversal variant exists in the literature but the shared find keeps the
+// access pattern uniform for the access-aware verifier.
+func (l *List) Contains(tid int, key int64) (bool, error) {
+	l.s.BeginOp(tid)
+	defer l.s.EndOp(tid)
+	var preds, succs [MaxHeight]mem.Ref
+	for {
+		l.Phase(tid, ds.PhaseRead)
+		found, st := l.find(tid, key, &preds, &succs)
+		if corrupt(st) {
+			return false, corruptErr(st)
+		}
+		if st == stRestart {
+			continue
+		}
+		return found, nil
+	}
+}
+
+// Insert implements ds.Set: link level 0 (the linearization point), then
+// link the higher levels best-effort.
+func (l *List) Insert(tid int, key int64) (bool, error) {
+	l.s.BeginOp(tid)
+	defer l.s.EndOp(tid)
+	height := randomHeight(tid, key)
+	n, err := l.s.Alloc(tid)
+	if err != nil {
+		return false, err
+	}
+	l.s.Write(tid, n, ds.WKey, uint64(key))
+	l.s.Write(tid, n, WHeight, uint64(height))
+	var preds, succs [MaxHeight]mem.Ref
+	for {
+		l.Phase(tid, ds.PhaseRead)
+		found, st := l.find(tid, key, &preds, &succs)
+		if corrupt(st) {
+			return false, corruptErr(st)
+		}
+		if st == stRestart {
+			continue
+		}
+		if found {
+			l.s.Retire(tid, n) // lost the race: key already present
+			return false, nil
+		}
+		for lv := 0; lv < height; lv++ {
+			if !l.s.WritePtr(tid, n, WLevel0+lv, succs[lv]) {
+				return false, ds.ErrCorrupted // n is local; cannot fail for a correct scheme
+			}
+		}
+		if !l.s.Reserve(tid, preds[0], succs[0]) {
+			continue
+		}
+		l.Phase(tid, ds.PhaseWrite)
+		if err := l.A.MarkShared(n); err != nil {
+			return false, err
+		}
+		swapped, ok := l.s.CASPtr(tid, preds[0], WLevel0, succs[0], n)
+		if !ok {
+			continue
+		}
+		if !swapped {
+			continue
+		}
+		// Linearized. Link the upper levels; abandon a level when the
+		// window moved or the node got deleted meanwhile.
+		l.linkUpper(tid, key, n, height, &preds, &succs)
+		return true, nil
+	}
+}
+
+// linkUpper links node n into levels 1..height-1. Failures re-find; if n
+// becomes marked at level 0 the linking stops (the deleter owns it now).
+func (l *List) linkUpper(tid int, key int64, n mem.Ref, height int, preds, succs *[MaxHeight]mem.Ref) {
+	for lv := 1; lv < height; lv++ {
+		for {
+			n0, ok := l.s.Read(tid, n, WLevel0)
+			if !ok {
+				return
+			}
+			if mem.Ref(n0).Marked() {
+				return // deleted while linking; nothing more to do
+			}
+			cur, ok := l.s.Read(tid, n, WLevel0+lv)
+			if !ok {
+				return
+			}
+			if mem.Ref(cur).Marked() {
+				return
+			}
+			if succs[lv].SameNode(n) || preds[lv].SameNode(n) {
+				// A re-find can observe n already linked at this level
+				// (a CAS we believed failed, or a helper's view of the
+				// window); linking n to itself would create a cycle of
+				// valid nodes that no validation catches.
+				return
+			}
+			if mem.Ref(cur) != succs[lv] {
+				swapped, ok := l.s.CASPtr(tid, n, WLevel0+lv, mem.Ref(cur), succs[lv])
+				if !ok {
+					return
+				}
+				if !swapped {
+					continue
+				}
+			}
+			if !l.s.Reserve(tid, preds[lv], n, succs[lv]) {
+				return
+			}
+			l.Phase(tid, ds.PhaseWrite)
+			swapped, ok := l.s.CASPtr(tid, preds[lv], WLevel0+lv, succs[lv], n)
+			if !ok {
+				return
+			}
+			if swapped {
+				break
+			}
+			found, st := l.find(tid, key, preds, succs)
+			if st != stOK || !found || succs[0] != n {
+				return
+			}
+		}
+	}
+}
+
+// Delete implements ds.Set: mark the victim's levels top-down (level 0
+// last — that CAS is the linearization point and establishes retirement
+// ownership), then re-find to snip it everywhere and retire.
+func (l *List) Delete(tid int, key int64) (bool, error) {
+	l.s.BeginOp(tid)
+	defer l.s.EndOp(tid)
+	var preds, succs [MaxHeight]mem.Ref
+	for {
+		l.Phase(tid, ds.PhaseRead)
+		found, st := l.find(tid, key, &preds, &succs)
+		if corrupt(st) {
+			return false, corruptErr(st)
+		}
+		if st == stRestart {
+			continue
+		}
+		if !found {
+			return false, nil
+		}
+		victim := succs[0]
+		h, ok := l.s.Read(tid, victim, WHeight)
+		if !ok {
+			continue
+		}
+		height := int(h)
+		if height < 1 || height > MaxHeight {
+			return false, ds.ErrCorrupted
+		}
+		if !l.s.Reserve(tid, preds[0], victim, succs[0]) {
+			continue
+		}
+		l.Phase(tid, ds.PhaseWrite)
+		// Mark upper levels (best-effort; others may also be marking).
+		for lv := height - 1; lv >= 1; lv-- {
+			for {
+				nxt, ok := l.s.Read(tid, victim, WLevel0+lv)
+				if !ok {
+					break
+				}
+				r := mem.Ref(nxt)
+				if r.Marked() {
+					break
+				}
+				if swapped, ok := l.s.CASPtr(tid, victim, WLevel0+lv, r, r.WithMark()); !ok || swapped {
+					break
+				}
+			}
+		}
+		// Level 0: the owning CAS.
+		for {
+			nxt, ok := l.s.Read(tid, victim, WLevel0)
+			if !ok {
+				break
+			}
+			r := mem.Ref(nxt)
+			if r.Marked() {
+				// Someone else linearized the delete.
+				break
+			}
+			swapped, ok := l.s.CASPtr(tid, victim, WLevel0, r, r.WithMark())
+			if !ok {
+				break
+			}
+			if swapped {
+				// We own the deletion: snip everywhere, then retire.
+				if _, st := l.find(tid, key, &preds, &succs); corrupt(st) {
+					return false, corruptErr(st)
+				}
+				l.s.Retire(tid, victim)
+				return true, nil
+			}
+		}
+		// Lost the marking race (or rolled back): re-find; if the key is
+		// gone the competing delete won and ours returns false.
+	}
+}
+
+// Keys walks level 0 without barriers and returns the unmarked keys in
+// order. Only safe on a quiescent structure.
+func (l *List) Keys() []int64 {
+	var keys []int64
+	a := l.A
+	cur, _ := a.Load(0, l.head, WLevel0)
+	for {
+		r := mem.Ref(cur).WithoutMark()
+		if r.IsNil() || r == l.tail {
+			return keys
+		}
+		k, err := a.Load(0, r, ds.WKey)
+		if err != nil {
+			return keys
+		}
+		next, err := a.Load(0, r, WLevel0)
+		if err != nil {
+			return keys
+		}
+		if !mem.Ref(next).Marked() {
+			keys = append(keys, int64(k))
+		}
+		cur = next
+	}
+}

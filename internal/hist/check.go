@@ -1,0 +1,134 @@
+package hist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MaxCheckOps is the largest single window the checker accepts (the
+// linearized subset is tracked as a 64-bit mask).
+const MaxCheckOps = 64
+
+type memoKey struct {
+	mask uint64
+	hash uint64
+}
+
+func sortByInv(ops []Op) []Op {
+	sorted := make([]Op, len(ops))
+	copy(sorted, ops)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Inv < sorted[j].Inv })
+	return sorted
+}
+
+// finalStates explores every linearization of ops starting from state
+// start (Wing & Gong search with memoization) and returns the distinct
+// (by hash) abstract states a legal linearization can end in. An empty
+// result means ops is not linearizable from start.
+func finalStates(spec Spec, start State, ops []Op) []State {
+	if len(ops) == 0 {
+		return []State{start}
+	}
+	sorted := sortByInv(ops)
+	full := uint64(1)<<len(sorted) - 1
+	memo := make(map[memoKey]bool)
+	var finals []State
+	seenFinal := make(map[uint64]bool)
+
+	var search func(mask uint64, st State)
+	search = func(mask uint64, st State) {
+		if mask == full {
+			if !seenFinal[st.Hash()] {
+				seenFinal[st.Hash()] = true
+				finals = append(finals, st)
+			}
+			return
+		}
+		key := memoKey{mask: mask, hash: st.Hash()}
+		if memo[key] {
+			return
+		}
+		memo[key] = true
+		// firstRes: the earliest response among unlinearized operations.
+		// An operation may be linearized next only if it was invoked
+		// before every unlinearized operation's response; otherwise some
+		// completed operation would be ordered after one that started
+		// after it finished, violating real-time order.
+		firstRes := int64(1<<62 - 1)
+		for i, o := range sorted {
+			if mask&(1<<i) == 0 && o.Res < firstRes {
+				firstRes = o.Res
+			}
+		}
+		for i, o := range sorted {
+			if mask&(1<<i) != 0 {
+				continue
+			}
+			if o.Inv > firstRes {
+				break // sorted by Inv: no later candidates either
+			}
+			if next, ok := spec.Apply(st, o); ok {
+				search(mask|1<<i, next)
+			}
+		}
+	}
+	search(0, start)
+	return finals
+}
+
+// Check decides whether the complete history ops is linearizable with
+// respect to spec, starting from the initial (empty) object state. It is
+// exhaustive for histories of at most MaxCheckOps operations.
+func Check(spec Spec, ops []Op) (bool, error) {
+	if err := WellFormed(ops); err != nil {
+		return false, err
+	}
+	if len(ops) > MaxCheckOps {
+		return false, fmt.Errorf("hist: history of %d ops exceeds MaxCheckOps=%d", len(ops), MaxCheckOps)
+	}
+	return len(finalStates(spec, spec.Init(), ops)) > 0, nil
+}
+
+// CheckChained checks a history split into real-time-ordered windows:
+// every operation of window i must respond before any operation of window
+// i+1 is invoked (the harness enforces this with barriers between rounds).
+// The possible abstract states are threaded across windows, so the check
+// is exhaustive over the whole history while each search stays bounded by
+// the window size.
+func CheckChained(spec Spec, windows [][]Op) (bool, error) {
+	states := []State{spec.Init()}
+	var lastRes int64 = -1
+	for wi, w := range windows {
+		if err := WellFormed(w); err != nil {
+			return false, err
+		}
+		if len(w) > MaxCheckOps {
+			return false, fmt.Errorf("hist: window %d has %d ops, exceeds MaxCheckOps=%d", wi, len(w), MaxCheckOps)
+		}
+		for _, o := range w {
+			if o.Inv <= lastRes {
+				return false, fmt.Errorf("hist: window %d overlaps previous window (op %v)", wi, o)
+			}
+		}
+		for _, o := range w {
+			if o.Res > lastRes {
+				lastRes = o.Res
+			}
+		}
+		var next []State
+		seen := make(map[uint64]bool)
+		for _, st := range states {
+			for _, f := range finalStates(spec, st, w) {
+				if !seen[f.Hash()] {
+					seen[f.Hash()] = true
+					next = append(next, f)
+				}
+			}
+		}
+		if len(next) == 0 {
+			return false, nil
+		}
+		states = next
+	}
+	return true, nil
+}

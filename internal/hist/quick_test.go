@@ -1,0 +1,158 @@
+package hist_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hist"
+)
+
+// genHistory builds a history that is linearizable by construction: the
+// operations are applied to a model set in a chosen order, results taken
+// from the model, and each operation gets its own thread with an interval
+// straddling its linearization point — so every real-time constraint the
+// checker derives is satisfiable.
+func genHistory(opKinds []uint8, keys []uint8) []hist.Op {
+	n := len(opKinds)
+	if len(keys) < n {
+		n = len(keys)
+	}
+	if n > 10 {
+		n = 10
+	}
+	model := make(map[int64]bool)
+	ops := make([]hist.Op, 0, n)
+	for i := 0; i < n; i++ {
+		key := int64(keys[i] % 5)
+		var kind hist.OpKind
+		var ok bool
+		switch opKinds[i] % 3 {
+		case 0:
+			kind = hist.OpInsert
+			ok = !model[key]
+			model[key] = true
+		case 1:
+			kind = hist.OpDelete
+			ok = model[key]
+			delete(model, key)
+		default:
+			kind = hist.OpContains
+			ok = model[key]
+		}
+		// Linearization point at 100+10*i; the interval extends up to 9
+		// ticks on either side, overlapping the neighbours. (Timestamps
+		// stay positive: the well-formedness check treats them as such.)
+		spread := int64(opKinds[i] % 10)
+		ops = append(ops, hist.Op{
+			Tid:  i, // one thread per op: per-thread well-formedness is free
+			Kind: kind,
+			Key:  key,
+			Ok:   ok,
+			Inv:  int64(100+10*i) - spread,
+			Res:  int64(100+10*i) + spread + 1,
+		})
+	}
+	return ops
+}
+
+// TestCheckAcceptsConstructedLinearizable: any history generated with
+// results taken from a sequential model application must check out.
+func TestCheckAcceptsConstructedLinearizable(t *testing.T) {
+	f := func(opKinds []uint8, keys []uint8) bool {
+		ops := genHistory(opKinds, keys)
+		ok, err := hist.Check(hist.SetSpec{}, ops)
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckRejectsImpossibleObservation: a contains(k)=true with no
+// insert(k) anywhere is never linearizable.
+func TestCheckRejectsImpossibleObservation(t *testing.T) {
+	ops := []hist.Op{
+		{Tid: 0, Kind: hist.OpContains, Key: 1, Ok: true, Inv: 1, Res: 2},
+	}
+	ok, err := hist.Check(hist.SetSpec{}, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("accepted contains(1)=true on an empty set")
+	}
+}
+
+// TestCheckRejectsRealTimeViolation: two sequential (non-overlapping)
+// inserts of the same key cannot both succeed... unless a delete fits
+// between them — so pin the order with real time and no delete.
+func TestCheckRejectsRealTimeViolation(t *testing.T) {
+	ops := []hist.Op{
+		{Tid: 0, Kind: hist.OpInsert, Key: 7, Ok: true, Inv: 1, Res: 2},
+		{Tid: 1, Kind: hist.OpInsert, Key: 7, Ok: true, Inv: 3, Res: 4},
+	}
+	ok, err := hist.Check(hist.SetSpec{}, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("accepted two sequential successful inserts of the same key")
+	}
+	// The same two operations overlapping are still not linearizable for
+	// a set (no interleaving makes both inserts succeed).
+	ops[1].Inv = 1
+	ops[1].Res = 5
+	ok, err = hist.Check(hist.SetSpec{}, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("accepted two overlapping successful inserts of the same key")
+	}
+}
+
+// TestQueueFIFOViolation: out-of-order dequeues are rejected.
+func TestQueueFIFOViolation(t *testing.T) {
+	ops := []hist.Op{
+		{Tid: 0, Kind: hist.OpEnqueue, Key: 1, Ok: true, Inv: 1, Res: 2},
+		{Tid: 0, Kind: hist.OpEnqueue, Key: 2, Ok: true, Inv: 3, Res: 4},
+		{Tid: 1, Kind: hist.OpDequeue, Ok: true, Val: 2, Inv: 5, Res: 6},
+		{Tid: 1, Kind: hist.OpDequeue, Ok: true, Val: 1, Inv: 7, Res: 8},
+	}
+	ok, err := hist.Check(hist.QueueSpec{}, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("accepted LIFO behaviour from a queue")
+	}
+	// The same values in FIFO order are accepted.
+	ops[2].Val, ops[3].Val = 1, 2
+	ok, err = hist.Check(hist.QueueSpec{}, ops)
+	if err != nil || !ok {
+		t.Fatalf("rejected a legal FIFO history: %v %v", ok, err)
+	}
+}
+
+// TestStackLIFOViolation: FIFO pops from a stack are rejected when order
+// is pinned by real time.
+func TestStackLIFOViolation(t *testing.T) {
+	ops := []hist.Op{
+		{Tid: 0, Kind: hist.OpPush, Key: 1, Ok: true, Inv: 1, Res: 2},
+		{Tid: 0, Kind: hist.OpPush, Key: 2, Ok: true, Inv: 3, Res: 4},
+		{Tid: 1, Kind: hist.OpPop, Ok: true, Val: 1, Inv: 5, Res: 6},
+		{Tid: 1, Kind: hist.OpPop, Ok: true, Val: 2, Inv: 7, Res: 8},
+	}
+	ok, err := hist.Check(hist.StackSpec{}, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("accepted FIFO behaviour from a stack")
+	}
+	ops[2].Val, ops[3].Val = 2, 1
+	ok, err = hist.Check(hist.StackSpec{}, ops)
+	if err != nil || !ok {
+		t.Fatalf("rejected a legal LIFO history: %v %v", ok, err)
+	}
+}

@@ -1,0 +1,200 @@
+package hist
+
+import "encoding/binary"
+
+// State is an immutable abstract-object state used by the checker. Apply
+// must return fresh states; Hash is used to memoize explored search nodes.
+type State interface {
+	Hash() uint64
+}
+
+// Spec is a sequential specification: a prefix-closed set of sequential
+// histories, presented operationally as a transition function.
+type Spec interface {
+	// Name identifies the abstract data type.
+	Name() string
+	// Init returns the initial state (the empty object).
+	Init() State
+	// Apply plays op on s. It returns the successor state and whether
+	// the operation's recorded result is legal in s.
+	Apply(s State, op Op) (State, bool)
+}
+
+func fnv(h uint64, v uint64) uint64 {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	for _, x := range b {
+		h ^= uint64(x)
+		h *= 1099511628211
+	}
+	return h
+}
+
+const fnvOffset = 14695981039346656037
+
+// --- set ---------------------------------------------------------------------
+
+type setState struct {
+	keys []int64 // sorted ascending
+	hash uint64
+}
+
+func (s *setState) Hash() uint64 { return s.hash }
+
+func setHash(keys []int64) uint64 {
+	h := uint64(fnvOffset)
+	for _, k := range keys {
+		h = fnv(h, uint64(k))
+	}
+	return fnv(h, uint64(len(keys)))
+}
+
+func (s *setState) find(key int64) int {
+	lo, hi := 0, len(s.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func (s *setState) contains(key int64) bool {
+	i := s.find(key)
+	return i < len(s.keys) && s.keys[i] == key
+}
+
+// SetSpec is the sequential specification of the integer set object of
+// Section 3: insert(key) succeeds iff absent, delete(key) succeeds iff
+// present, contains(key) reports presence.
+type SetSpec struct{}
+
+// Name implements Spec.
+func (SetSpec) Name() string { return "set" }
+
+// Init implements Spec.
+func (SetSpec) Init() State { return &setState{hash: setHash(nil)} }
+
+// Apply implements Spec.
+func (SetSpec) Apply(st State, op Op) (State, bool) {
+	s := st.(*setState)
+	switch op.Kind {
+	case OpInsert:
+		present := s.contains(op.Key)
+		if op.Ok == present {
+			return nil, false
+		}
+		if present {
+			return s, true // failed insert: no state change (op.Ok false handled above)
+		}
+		i := s.find(op.Key)
+		keys := make([]int64, 0, len(s.keys)+1)
+		keys = append(keys, s.keys[:i]...)
+		keys = append(keys, op.Key)
+		keys = append(keys, s.keys[i:]...)
+		return &setState{keys: keys, hash: setHash(keys)}, true
+	case OpDelete:
+		present := s.contains(op.Key)
+		if op.Ok != present {
+			return nil, false
+		}
+		if !present {
+			return s, true
+		}
+		i := s.find(op.Key)
+		keys := make([]int64, 0, len(s.keys)-1)
+		keys = append(keys, s.keys[:i]...)
+		keys = append(keys, s.keys[i+1:]...)
+		return &setState{keys: keys, hash: setHash(keys)}, true
+	case OpContains:
+		return s, op.Ok == s.contains(op.Key)
+	}
+	return nil, false
+}
+
+// --- queue -------------------------------------------------------------------
+
+type seqState struct {
+	vals []int64
+	hash uint64
+	salt uint64
+}
+
+func (s *seqState) Hash() uint64 { return s.hash }
+
+func seqHash(vals []int64, salt uint64) uint64 {
+	h := fnv(fnvOffset, salt)
+	for _, v := range vals {
+		h = fnv(h, uint64(v))
+	}
+	return fnv(h, uint64(len(vals)))
+}
+
+// QueueSpec is the sequential FIFO queue specification: dequeue returns the
+// oldest enqueued value, or reports emptiness.
+type QueueSpec struct{}
+
+// Name implements Spec.
+func (QueueSpec) Name() string { return "queue" }
+
+// Init implements Spec.
+func (QueueSpec) Init() State { return &seqState{salt: 'q', hash: seqHash(nil, 'q')} }
+
+// Apply implements Spec.
+func (QueueSpec) Apply(st State, op Op) (State, bool) {
+	s := st.(*seqState)
+	switch op.Kind {
+	case OpEnqueue:
+		if !op.Ok {
+			return nil, false
+		}
+		vals := append(append(make([]int64, 0, len(s.vals)+1), s.vals...), op.Key)
+		return &seqState{vals: vals, salt: s.salt, hash: seqHash(vals, s.salt)}, true
+	case OpDequeue:
+		if len(s.vals) == 0 {
+			return s, !op.Ok
+		}
+		if !op.Ok || op.Val != s.vals[0] {
+			return nil, false
+		}
+		vals := append(make([]int64, 0, len(s.vals)-1), s.vals[1:]...)
+		return &seqState{vals: vals, salt: s.salt, hash: seqHash(vals, s.salt)}, true
+	}
+	return nil, false
+}
+
+// StackSpec is the sequential LIFO stack specification.
+type StackSpec struct{}
+
+// Name implements Spec.
+func (StackSpec) Name() string { return "stack" }
+
+// Init implements Spec.
+func (StackSpec) Init() State { return &seqState{salt: 's', hash: seqHash(nil, 's')} }
+
+// Apply implements Spec.
+func (StackSpec) Apply(st State, op Op) (State, bool) {
+	s := st.(*seqState)
+	switch op.Kind {
+	case OpPush:
+		if !op.Ok {
+			return nil, false
+		}
+		vals := append(append(make([]int64, 0, len(s.vals)+1), s.vals...), op.Key)
+		return &seqState{vals: vals, salt: s.salt, hash: seqHash(vals, s.salt)}, true
+	case OpPop:
+		if len(s.vals) == 0 {
+			return s, !op.Ok
+		}
+		top := s.vals[len(s.vals)-1]
+		if !op.Ok || op.Val != top {
+			return nil, false
+		}
+		vals := append(make([]int64, 0, len(s.vals)-1), s.vals[:len(s.vals)-1]...)
+		return &seqState{vals: vals, salt: s.salt, hash: seqHash(vals, s.salt)}, true
+	}
+	return nil, false
+}

@@ -1,0 +1,119 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNilRef(t *testing.T) {
+	if !NilRef.IsNil() {
+		t.Fatal("NilRef must be nil")
+	}
+	if NilRef.Marked() {
+		t.Fatal("NilRef must be unmarked")
+	}
+	if !NilRef.WithMark().IsNil() {
+		t.Fatal("marked nil must still be nil")
+	}
+	if !NilRef.WithMark().Marked() {
+		t.Fatal("marked nil must be marked")
+	}
+}
+
+func TestMakeRefRoundTrip(t *testing.T) {
+	cases := []struct {
+		slot int
+		seq  uint64
+	}{
+		{0, 0}, {1, 1}, {7, 12345}, {1 << 20, 1 << 40}, {slotMask - 2, TagMask},
+	}
+	for _, c := range cases {
+		r := MakeRef(c.slot, c.seq)
+		if r.IsNil() {
+			t.Fatalf("MakeRef(%d,%d) is nil", c.slot, c.seq)
+		}
+		if r.Slot() != c.slot {
+			t.Fatalf("slot: got %d want %d", r.Slot(), c.slot)
+		}
+		if r.Tag() != c.seq&TagMask {
+			t.Fatalf("tag: got %d want %d", r.Tag(), c.seq&TagMask)
+		}
+		if r.Marked() {
+			t.Fatalf("fresh ref marked: %v", r)
+		}
+	}
+}
+
+func TestMarkRoundTrip(t *testing.T) {
+	f := func(slot uint32, seq uint64) bool {
+		r := MakeRef(int(slot)%1024, seq)
+		m := r.WithMark()
+		return m.Marked() &&
+			!m.WithoutMark().Marked() &&
+			m.WithoutMark() == r &&
+			m.Slot() == r.Slot() &&
+			m.Tag() == r.Tag() &&
+			m.SameNode(r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuxRoundTrip(t *testing.T) {
+	f := func(slot uint32, seq uint64) bool {
+		r := MakeRef(int(slot)%1024, seq)
+		a := r.WithAux()
+		both := r.WithMark().WithAux()
+		return a.Aux() &&
+			!a.Marked() &&
+			!a.WithoutAux().Aux() &&
+			a.WithoutAux() == r &&
+			a.Slot() == r.Slot() &&
+			a.Tag() == r.Tag() &&
+			both.Marked() && both.Aux() &&
+			both.Bare() == r &&
+			both.SameNode(r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuxString(t *testing.T) {
+	r := MakeRef(3, 2)
+	if got := r.WithAux().String(); got != "ref(3#2)!a" {
+		t.Fatalf("got %q", got)
+	}
+	if got := r.WithMark().WithAux().String(); got != "ref(3#2)!m!a" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSameNodeIgnoresMark(t *testing.T) {
+	a := MakeRef(5, 9)
+	if !a.SameNode(a.WithMark()) {
+		t.Fatal("SameNode must ignore mark bits")
+	}
+	b := MakeRef(5, 10)
+	if a.SameNode(b) {
+		t.Fatal("different tags are different nodes")
+	}
+	c := MakeRef(6, 9)
+	if a.SameNode(c) {
+		t.Fatal("different slots are different nodes")
+	}
+}
+
+func TestRefString(t *testing.T) {
+	if NilRef.String() != "nil" {
+		t.Fatalf("got %q", NilRef.String())
+	}
+	r := MakeRef(3, 2)
+	if r.String() != "ref(3#2)" {
+		t.Fatalf("got %q", r.String())
+	}
+	if r.WithMark().String() != "ref(3#2)!m" {
+		t.Fatalf("got %q", r.WithMark().String())
+	}
+}

@@ -1,0 +1,127 @@
+package mem
+
+import "sync/atomic"
+
+// Stats holds the arena's accounting counters. The counters are the raw
+// material for the paper's property monitors: active and retired node
+// counts drive the robustness bound of Definitions 5.1–5.2, and the unsafe
+// access counters drive the safety check of Definitions 4.1–4.2.
+//
+// Counters are padded to separate cache lines: they are on the allocation
+// and retirement hot paths of every benchmark.
+type Stats struct {
+	allocs       atomic.Uint64
+	_            pad
+	reclaims     atomic.Uint64
+	_            pad
+	retires      atomic.Uint64
+	_            pad
+	active       atomic.Uint64 // allocated and not yet retired
+	_            pad
+	retired      atomic.Uint64 // retired and not yet reclaimed
+	_            pad
+	maxActive    atomic.Uint64
+	maxRetired   atomic.Uint64
+	_            pad
+	unsafeLoads  atomic.Uint64
+	unsafeStores atomic.Uint64
+	faults       atomic.Uint64
+	violations   atomic.Uint64
+	oom          atomic.Uint64
+}
+
+func (s *Stats) bumpMaxActive(v uint64) {
+	for {
+		m := s.maxActive.Load()
+		if v <= m || s.maxActive.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+func (s *Stats) bumpMaxRetired(v uint64) {
+	for {
+		m := s.maxRetired.Load()
+		if v <= m || s.maxRetired.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Active returns the current number of active (allocated, not retired)
+// nodes — the paper's active_E(i).
+func (s *Stats) Active() uint64 { return s.active.Load() }
+
+// Allocs returns the total number of allocations.
+func (s *Stats) Allocs() uint64 { return s.allocs.Load() }
+
+// Reclaims returns the total number of reclamations.
+func (s *Stats) Reclaims() uint64 { return s.reclaims.Load() }
+
+// Retires returns the total number of retirements.
+func (s *Stats) Retires() uint64 { return s.retires.Load() }
+
+// Retired returns the current number of retired-but-not-reclaimed nodes,
+// the quantity bounded by the robustness definitions.
+func (s *Stats) Retired() uint64 { return s.retired.Load() }
+
+// MaxActive returns the historical maximum of Active — the paper's
+// max_active_E(i).
+func (s *Stats) MaxActive() uint64 { return s.maxActive.Load() }
+
+// MaxRetired returns the historical maximum of Retired.
+func (s *Stats) MaxRetired() uint64 { return s.maxRetired.Load() }
+
+// UnsafeLoads returns the number of loads through invalid references.
+func (s *Stats) UnsafeLoads() uint64 { return s.unsafeLoads.Load() }
+
+// UnsafeStores returns the number of refused stores/CASes through invalid
+// references.
+func (s *Stats) UnsafeStores() uint64 { return s.unsafeStores.Load() }
+
+// Faults returns the number of simulated segmentation faults (accesses to
+// system space).
+func (s *Stats) Faults() uint64 { return s.faults.Load() }
+
+// Violations returns the number of life-cycle violations (double retire,
+// retire of unallocated memory, ...).
+func (s *Stats) Violations() uint64 { return s.violations.Load() }
+
+// OOMs returns the number of failed allocations due to heap exhaustion.
+func (s *Stats) OOMs() uint64 { return s.oom.Load() }
+
+// Snapshot is a consistent-enough copy of all counters for reporting.
+type Snapshot struct {
+	Allocs, Reclaims, Retires uint64
+	Active, Retired           uint64
+	MaxActive, MaxRetired     uint64
+	UnsafeLoads, UnsafeStores uint64
+	Faults, Violations, OOMs  uint64
+}
+
+// Snapshot copies every counter. Individual counters are atomic; the
+// snapshot as a whole is not taken atomically, which is fine for the
+// monitors (they evaluate bounds, not exact invariants, while threads run,
+// and exact values once threads are quiescent).
+func (s *Stats) Snapshot() Snapshot {
+	return Snapshot{
+		Allocs:       s.allocs.Load(),
+		Reclaims:     s.reclaims.Load(),
+		Retires:      s.retires.Load(),
+		Active:       s.active.Load(),
+		Retired:      s.retired.Load(),
+		MaxActive:    s.maxActive.Load(),
+		MaxRetired:   s.maxRetired.Load(),
+		UnsafeLoads:  s.unsafeLoads.Load(),
+		UnsafeStores: s.unsafeStores.Load(),
+		Faults:       s.faults.Load(),
+		Violations:   s.violations.Load(),
+		OOMs:         s.oom.Load(),
+	}
+}
+
+// UnsafeAccesses returns the total number of unsafe accesses (loads,
+// refused stores, faults) in the snapshot.
+func (sn Snapshot) UnsafeAccesses() uint64 {
+	return sn.UnsafeLoads + sn.UnsafeStores + sn.Faults
+}

@@ -1,0 +1,91 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakpointParksAndReleases(t *testing.T) {
+	b := NewBreakpoints()
+	stall := b.Arm(1, "p", nil, 0)
+	var order []string
+	task := Go(func() error {
+		order = append(order, "before")
+		b.Hit(1, "p", 0)
+		order = append(order, "after")
+		return nil
+	})
+	<-stall.Reached()
+	if len(order) != 1 || order[0] != "before" {
+		t.Fatalf("order at stall: %v", order)
+	}
+	if task.Done() {
+		t.Fatal("task must be parked")
+	}
+	stall.Release()
+	if err := task.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[1] != "after" {
+		t.Fatalf("order: %v", order)
+	}
+}
+
+func TestBreakpointMatchAndSkip(t *testing.T) {
+	b := NewBreakpoints()
+	// Park at the second visit with arg==7.
+	stall := b.Arm(0, "p", func(a uint64) bool { return a == 7 }, 1)
+	visits := 0
+	task := Go(func() error {
+		for _, a := range []uint64{1, 7, 2, 7, 7} {
+			b.Hit(0, "p", a)
+			visits++
+		}
+		return nil
+	})
+	<-stall.Reached()
+	if visits != 3 { // stalled inside the 4th Hit (second arg==7)
+		t.Fatalf("visits at stall: %d", visits)
+	}
+	stall.Release()
+	_ = task.Wait()
+	if visits != 5 {
+		t.Fatalf("visits: %d", visits)
+	}
+}
+
+func TestBreakpointOtherThreadUnaffected(t *testing.T) {
+	b := NewBreakpoints()
+	_ = b.Arm(0, "p", nil, 0)
+	done := make(chan struct{})
+	go func() {
+		b.Hit(1, "p", 0) // different tid: must not block
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("thread 1 blocked on thread 0's breakpoint")
+	}
+}
+
+func TestDisarm(t *testing.T) {
+	b := NewBreakpoints()
+	_ = b.Arm(0, "p", nil, 0)
+	b.Disarm(0)
+	done := make(chan struct{})
+	go func() {
+		b.Hit(0, "p", 0)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("disarmed breakpoint still parks")
+	}
+}
+
+func TestHitWithNoArm(t *testing.T) {
+	b := NewBreakpoints()
+	b.Hit(3, "anything", 42) // must be a no-op
+}

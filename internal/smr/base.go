@@ -1,0 +1,87 @@
+package smr
+
+import "repro/internal/mem"
+
+type pad [56]byte
+
+// RetireList is a per-thread list of retired-but-unreclaimed nodes, the
+// standard building block of every scheme in the literature ("retired
+// nodes are typically held in per-thread retire lists").
+type RetireList struct {
+	Refs []mem.Ref
+	_    pad
+}
+
+// Base carries the state every scheme shares: the arena, the thread count,
+// per-thread retire lists and the event counters.
+type Base struct {
+	Arena     *mem.Arena
+	N         int
+	Threshold int // retire-list length that triggers a reclamation scan
+	Lists     []RetireList
+	S         Stats
+}
+
+// NewBase initializes a Base for n threads. threshold <= 0 selects a
+// default proportional to the thread count.
+func NewBase(a *mem.Arena, n, threshold int) Base {
+	if threshold <= 0 {
+		threshold = 2 * n * 8
+	}
+	return Base{Arena: a, N: n, Threshold: threshold, Lists: make([]RetireList, n)}
+}
+
+// Stats returns the shared counters.
+func (b *Base) Stats() *Stats { return &b.S }
+
+// Heap returns the arena the scheme is bound to.
+func (b *Base) Heap() *mem.Arena { return b.Arena }
+
+// PushRetired appends r to tid's retire list and reports whether the list
+// reached the scan threshold.
+func (b *Base) PushRetired(tid int, r mem.Ref) bool {
+	l := &b.Lists[tid]
+	l.Refs = append(l.Refs, r)
+	return len(l.Refs) >= b.Threshold
+}
+
+// TransparentRead is the guarded load used by schemes that claim all
+// accesses are safe (EBR, HP, IBR, HE, and the baselines): the value is
+// always handed to the data structure. If the reference turned out to be
+// invalid, handing the value over *uses* a stale value — a safety
+// violation under Definition 4.2 that the monitors pick up via StaleUses.
+func (b *Base) TransparentRead(tid int, r mem.Ref, w int) (uint64, bool) {
+	v, err := b.Arena.Load(tid, r.WithoutMark(), w)
+	if err != nil {
+		b.S.StaleUses.Add(1)
+	}
+	return v, true
+}
+
+// TransparentReadPtr is TransparentRead for link words.
+func (b *Base) TransparentReadPtr(tid int, src mem.Ref, w int) (mem.Ref, bool) {
+	v, _ := b.TransparentRead(tid, src, w)
+	return mem.Ref(v), true
+}
+
+// TransparentWrite is the guarded store for transparent schemes.
+func (b *Base) TransparentWrite(tid int, r mem.Ref, w int, v uint64) bool {
+	if err := b.Arena.Store(tid, r.WithoutMark(), w, v); err != nil {
+		b.S.StaleUses.Add(1)
+	}
+	return true
+}
+
+// TransparentCAS is the guarded compare-and-swap for transparent schemes.
+// An invalid reference makes the CAS fail (the arena refuses the update),
+// which the data structure observes as an ordinary CAS failure.
+func (b *Base) TransparentCAS(tid int, r mem.Ref, w int, old, new uint64) (bool, bool) {
+	ok, err := b.Arena.CAS(tid, r.WithoutMark(), w, old, new)
+	if err != nil {
+		// The scheme believed this node could not be reclaimed while in
+		// use; a refused CAS through an invalid reference is an unsafe
+		// update attempt (Definition 4.2, Condition 2).
+		b.S.StaleUses.Add(1)
+	}
+	return ok, true
+}

@@ -1,0 +1,72 @@
+// Package smrtest provides shared helpers for the per-scheme test
+// packages: arena construction and synthetic allocate/retire churn that
+// exercises reclamation without a data structure on top.
+package smrtest
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/smr"
+)
+
+// NewArena builds a test arena with the standard scheme metadata layout.
+func NewArena(n, slots int, mode mem.ReclaimMode) *mem.Arena {
+	return mem.NewArena(mem.Config{
+		Slots:        slots,
+		PayloadWords: 2,
+		MetaWords:    smr.MetaWords,
+		Threads:      n,
+		Mode:         mode,
+	})
+}
+
+// Churn runs ops allocate-write-retire cycles on behalf of thread tid,
+// each inside its own operation bracket.
+func Churn(s smr.Scheme, tid, ops int) error {
+	for i := 0; i < ops; i++ {
+		s.BeginOp(tid)
+		r, err := s.Alloc(tid)
+		if err != nil {
+			s.EndOp(tid)
+			return fmt.Errorf("churn op %d: %w", i, err)
+		}
+		if !s.Write(tid, r, 0, uint64(i)) {
+			s.EndOp(tid)
+			return fmt.Errorf("churn op %d: write rolled back on a local node", i)
+		}
+		if err := s.Heap().MarkShared(r); err != nil {
+			s.EndOp(tid)
+			return err
+		}
+		s.Retire(tid, r)
+		s.EndOp(tid)
+	}
+	return nil
+}
+
+// AllocShared allocates a node, writes val into word 0, and publishes it.
+func AllocShared(s smr.Scheme, tid int, val uint64) (mem.Ref, error) {
+	s.BeginOp(tid)
+	defer s.EndOp(tid)
+	r, err := s.Alloc(tid)
+	if err != nil {
+		return mem.NilRef, err
+	}
+	if !s.Write(tid, r, 0, val) {
+		return mem.NilRef, fmt.Errorf("write rolled back on a local node")
+	}
+	if err := s.Heap().MarkShared(r); err != nil {
+		return mem.NilRef, err
+	}
+	return r, nil
+}
+
+// DrainAll flushes every thread's retire list rounds times.
+func DrainAll(s smr.Scheme, n, rounds int) {
+	for i := 0; i < rounds; i++ {
+		for tid := 0; tid < n; tid++ {
+			s.Flush(tid)
+		}
+	}
+}

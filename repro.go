@@ -1,0 +1,145 @@
+// Package repro is a reproduction of Sheffi & Petrank, "The ERA Theorem
+// for Safe Memory Reclamation" (PPoPP 2023, arXiv:2211.04351), as a
+// runnable Go library.
+//
+// The paper proves that a safe memory reclamation (SMR) scheme can provide
+// at most two of three properties: Ease of integration (Definition 5.3),
+// Robustness (Definitions 5.1–5.2), and wide Applicability (Definitions
+// 5.4–5.6). This repository makes every piece of that statement
+// executable:
+//
+//   - a simulated manually-managed heap (tagged references, node
+//     life-cycles, unsafe-access detection) standing in for the paper's
+//     memory model on top of Go's garbage-collected runtime;
+//   - eleven reclamation schemes (EBR, QSBR, HP, IBR, HE, VBR, NBR, PEBR,
+//     RC, a leak baseline and an unsafe immediate-free baseline) behind
+//     one barrier interface;
+//   - seven lock-free data structures written once against that
+//     interface, with Harris's linked-list — the theorem's central
+//     object — among them;
+//   - the paper's two proof executions (Figure 1 and Figure 2) as
+//     deterministic, replayable scripts;
+//   - monitors and checkers for each formal definition, assembled into
+//     the ERA matrix whose empty all-yes row is Theorem 6.1.
+//
+// This facade re-exports the user-facing surface; the implementation
+// lives in the internal packages (see DESIGN.md for the inventory).
+package repro
+
+import (
+	"io"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/core/adversary"
+	"repro/internal/ds"
+	"repro/internal/ds/registry"
+	"repro/internal/mem"
+	"repro/internal/smr"
+	"repro/internal/smr/all"
+)
+
+// Heap is the simulated manually-managed heap (see internal/mem).
+type Heap = mem.Arena
+
+// HeapConfig configures a Heap.
+type HeapConfig = mem.Config
+
+// Ref is a tagged node reference.
+type Ref = mem.Ref
+
+// Reclaim modes: Reuse recycles slots in program space; Unmap returns
+// them to system space, turning dangling accesses into simulated
+// segmentation faults.
+const (
+	Reuse = mem.Reuse
+	Unmap = mem.Unmap
+)
+
+// NewHeap builds a heap. Pass MetaWords: repro.SchemeMetaWords so any
+// scheme can attach its per-node metadata.
+func NewHeap(cfg HeapConfig) *Heap { return mem.NewArena(cfg) }
+
+// SchemeMetaWords is the per-node scheme-metadata word count every scheme
+// in the repository fits in.
+const SchemeMetaWords = smr.MetaWords
+
+// Scheme is the uniform SMR interface of Definition 5.3: begin/end
+// brackets, alloc/retire replacements, and guarded primitive accesses.
+type Scheme = smr.Scheme
+
+// SchemeProps is a scheme's static property sheet.
+type SchemeProps = smr.Props
+
+// NewScheme builds the named scheme ("ebr", "qsbr", "hp", "ibr", "he",
+// "vbr", "nbr", "rc", "none", "unsafefree") over heap h for n threads.
+func NewScheme(name string, h *Heap, n int) (Scheme, error) {
+	return all.New(name, h, n, 0)
+}
+
+// SchemeNames lists every registered scheme.
+func SchemeNames() []string { return all.Names() }
+
+// StructureNames lists every registered data structure.
+func StructureNames() []string { return registry.Names() }
+
+// Set is the integer-set abstract data type.
+type Set = ds.Set
+
+// NewSet builds the named set structure ("harris", "michael", "skiplist",
+// "hashmap-harris", "hashmap-michael") over scheme s. The heap must have
+// been built with at least MaxPayloadWords payload words for the skip
+// list; plain lists need two.
+func NewSet(structure string, s Scheme) (Set, error) {
+	info, err := registry.Get(structure)
+	if err != nil {
+		return nil, err
+	}
+	if info.NewSet == nil {
+		return nil, errNotASet(structure)
+	}
+	return info.NewSet(s, ds.Options{})
+}
+
+type errNotASet string
+
+func (e errNotASet) Error() string { return "repro: " + string(e) + " is not a set structure" }
+
+// MaxPayloadWords is the payload-word requirement of the largest
+// structure (the skip list).
+const MaxPayloadWords = registry.MaxPayloadWords
+
+// AdversaryOutcome is the structured result of a scripted execution.
+type AdversaryOutcome = adversary.Outcome
+
+// RunFigure1 replays the Theorem 6.1 lower-bound execution for a scheme
+// with churn length K.
+func RunFigure1(scheme string, k int) (*AdversaryOutcome, error) {
+	return adversary.Figure1(scheme, k, mem.Unmap)
+}
+
+// RunFigure2 replays the Appendix E incompatibility execution.
+func RunFigure2(scheme string) (*AdversaryOutcome, error) {
+	return adversary.Figure2(scheme, mem.Unmap)
+}
+
+// ERAMatrix is the assembled two-of-three matrix.
+type ERAMatrix = core.Matrix
+
+// BuildERAMatrix measures every scheme and assembles the matrix;
+// TheoremHolds() reports the paper's main claim.
+func BuildERAMatrix(figureK int) (ERAMatrix, error) { return core.BuildMatrix(figureK) }
+
+// WriteExperiments runs the full experiment suite to w (the erabench
+// command is a thin wrapper over this).
+func WriteExperiments(w io.Writer, figureK int) error {
+	if err := bench.MatrixReport(w, figureK); err != nil {
+		return err
+	}
+	rows, err := bench.SpaceSweep(figureK)
+	if err != nil {
+		return err
+	}
+	bench.WriteSpaceTable(w, rows)
+	return nil
+}

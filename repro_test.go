@@ -1,0 +1,111 @@
+package repro_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// TestFacadeEndToEnd drives the public surface: heap, scheme, structure,
+// the scripted executions and the matrix.
+func TestFacadeEndToEnd(t *testing.T) {
+	h := repro.NewHeap(repro.HeapConfig{
+		Slots:        1 << 12,
+		PayloadWords: repro.MaxPayloadWords,
+		MetaWords:    repro.SchemeMetaWords,
+		Threads:      2,
+		Mode:         repro.Reuse,
+	})
+	s, err := repro.NewScheme("ebr", h, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := repro.NewSet("skiplist", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := int64(0); k < 50; k++ {
+		if ok, err := set.Insert(0, k); err != nil || !ok {
+			t.Fatalf("insert(%d) = %v, %v", k, ok, err)
+		}
+	}
+	for k := int64(0); k < 50; k += 2 {
+		if ok, err := set.Delete(1, k); err != nil || !ok {
+			t.Fatalf("delete(%d) = %v, %v", k, ok, err)
+		}
+	}
+	if ok, err := set.Contains(0, 3); err != nil || !ok {
+		t.Fatalf("contains(3) = %v, %v", ok, err)
+	}
+	if h.Stats().Retires() == 0 {
+		t.Fatal("no retirements recorded")
+	}
+}
+
+// TestFacadeAdversaries runs both scripted executions through the facade.
+func TestFacadeAdversaries(t *testing.T) {
+	o, err := repro.RunFigure1("hp", 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Safe {
+		t.Error("HP must violate safety in the Figure 1 execution")
+	}
+	o, err = repro.RunFigure2("ebr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Safe {
+		t.Error("EBR must stay safe in the Figure 2 execution")
+	}
+}
+
+// TestFacadeMatrix builds the matrix through the facade.
+func TestFacadeMatrix(t *testing.T) {
+	m, err := repro.BuildERAMatrix(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.TheoremHolds() {
+		t.Fatalf("theorem violated:\n%s", m)
+	}
+	if len(m.Rows) != len(repro.SchemeNames())-1 { // minus the unsafe baseline
+		t.Errorf("matrix has %d rows for %d schemes", len(m.Rows), len(repro.SchemeNames()))
+	}
+}
+
+// TestFacadeEnumerations checks the name listings and error paths.
+func TestFacadeEnumerations(t *testing.T) {
+	if len(repro.SchemeNames()) != 11 {
+		t.Errorf("SchemeNames = %v, want 11 schemes", repro.SchemeNames())
+	}
+	if len(repro.StructureNames()) != 8 {
+		t.Errorf("StructureNames = %v, want 8 structures", repro.StructureNames())
+	}
+	h := repro.NewHeap(repro.HeapConfig{Slots: 64, PayloadWords: 2, MetaWords: repro.SchemeMetaWords, Threads: 1})
+	if _, err := repro.NewScheme("gc", h, 1); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	s, err := repro.NewScheme("ebr", h, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repro.NewSet("msqueue", s); err == nil || !strings.Contains(err.Error(), "not a set") {
+		t.Errorf("queue accepted as a set: %v", err)
+	}
+	if _, err := repro.NewSet("nosuch", s); err == nil {
+		t.Error("unknown structure accepted")
+	}
+}
+
+// TestFacadeExperiments exercises the report writer.
+func TestFacadeExperiments(t *testing.T) {
+	var sb strings.Builder
+	if err := repro.WriteExperiments(&sb, 300); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "holds=true") {
+		t.Errorf("report:\n%s", sb.String())
+	}
+}
