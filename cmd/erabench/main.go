@@ -7,6 +7,14 @@
 //	erabench -exp throughput   # EXP-THRU:    scheme × mix × threads sweep
 //	erabench -exp michael      # EXP-MICHAEL: Harris+EBR vs Michael+HP
 //	erabench -exp all          # everything
+//
+// The throughput experiments are workload-driven: -workload names the key
+// distribution (uniform, zipfian, hotset, shifting) and -mix the op-mix
+// schedule (steady, phased, oversub), both resolved through the
+// internal/workload registries. -json writes the measured rows as a
+// machine-readable benchmark artifact:
+//
+//	erabench -exp throughput -workload zipfian -mix phased -json BENCH_throughput.json
 package main
 
 import (
@@ -16,8 +24,10 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core/adversary"
+	"repro/internal/ds/registry"
 	"repro/internal/mem"
 	"repro/internal/smr/all"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -26,18 +36,98 @@ func main() {
 	ops := flag.Int("ops", 20000, "operations per thread for throughput experiments")
 	keyRange := flag.Int("keyrange", 1024, "key universe for throughput experiments")
 	structure := flag.String("structure", "harris", "set structure for the throughput sweep")
+	wl := flag.String("workload", "uniform",
+		fmt.Sprintf("key distribution for throughput experiments %v", workload.DistNames()))
+	mix := flag.String("mix", "steady",
+		fmt.Sprintf("op-mix schedule for throughput experiments %v", workload.ScheduleNames()))
+	jsonPath := flag.String("json", "", "write throughput rows as a JSON benchmark artifact to this path")
 	flag.Parse()
+
+	exps := []string{"matrix", "space", "scale", "stall", "throughput", "structures", "michael", "all"}
+	known := false
+	for _, e := range exps {
+		known = known || e == *exp
+	}
+	if !known {
+		fmt.Fprintf(os.Stderr, "erabench: unknown experiment %q (have %v)\n", *exp, exps)
+		os.Exit(2)
+	}
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	// Reject bad selections up front rather than after a long run: typo'd
+	// workload/schedule names would otherwise only surface once the
+	// throughput experiment starts, discarding earlier experiments' work.
+	// Only the experiments that consume a flag validate it, so e.g.
+	// -exp stall ignores -structure as it always has.
+	if want("throughput") || want("michael") {
+		if _, err := workload.NewDist(*wl, 2); err != nil {
+			fmt.Fprintf(os.Stderr, "erabench: %v\n", err)
+			os.Exit(2)
+		}
+		if _, err := workload.NewSchedule(*mix, workload.MixBalanced); err != nil {
+			fmt.Fprintf(os.Stderr, "erabench: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if want("throughput") {
+		if info, err := registry.Get(*structure); err != nil {
+			fmt.Fprintf(os.Stderr, "erabench: %v\n", err)
+			os.Exit(2)
+		} else if info.Kind != registry.KindSet {
+			fmt.Fprintf(os.Stderr, "erabench: throughput runs on set structures, %s is a %v\n", *structure, info.Kind)
+			os.Exit(2)
+		}
+	}
+	// -json captures throughput-shaped rows; same up-front treatment,
+	// including creating the file now so an unwritable path cannot
+	// surface only after a long run.
+	jsonEligible := map[string]bool{"throughput": true, "michael": true, "all": true}
+	if *jsonPath != "" && !jsonEligible[*exp] {
+		fmt.Fprintf(os.Stderr, "erabench: -json applies to the throughput-shaped experiments (throughput, michael, all); -exp %s produces no rows\n", *exp)
+		os.Exit(2)
+	}
+	var jsonFile *os.File
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "erabench: %v\n", err)
+			os.Exit(2)
+		}
+		jsonFile = f
+	}
+
+	// Throughput-shaped rows accumulate here for the -json artifact.
+	var artifact []bench.ThroughputRow
+	// A zero-row artifact is still written: tooling that asked for the
+	// file must find it, empty rows and all.
+	writeArtifact := func() {
+		if jsonFile == nil {
+			return
+		}
+		if err := bench.WriteJSONReport(jsonFile, *exp, artifact); err != nil {
+			jsonFile.Close()
+			fmt.Fprintf(os.Stderr, "erabench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := jsonFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "erabench: %v\n", err)
+			os.Exit(1)
+		}
+		jsonFile = nil
+		fmt.Printf("wrote %d rows to %s\n", len(artifact), *jsonPath)
+	}
 
 	run := func(name string, fn func() error) {
 		fmt.Printf("==== %s ====\n", name)
 		if err := fn(); err != nil {
 			fmt.Fprintf(os.Stderr, "erabench: %s: %v\n", name, err)
+			// A later experiment failing must not discard rows already
+			// measured: flush the partial artifact before exiting.
+			writeArtifact()
 			os.Exit(1)
 		}
 		fmt.Println()
 	}
-
-	want := func(name string) bool { return *exp == "all" || *exp == name }
 
 	if want("matrix") {
 		run("EXP-ERA: the ERA matrix (Theorem 6.1)", func() error {
@@ -80,11 +170,15 @@ func main() {
 		})
 	}
 	if want("throughput") {
-		run(fmt.Sprintf("EXP-THRU: throughput sweep on %s", *structure), func() error {
+		run(fmt.Sprintf("EXP-THRU: throughput sweep on %s (%s/%s)", *structure, *wl, *mix), func() error {
 			rows, err := bench.ThroughputSweep(*structure, all.SafeNames(),
 				[]bench.Mix{bench.MixReadHeavy, bench.MixBalanced, bench.MixUpdateOnly},
 				[]int{1, 2, 4},
-				bench.ThroughputConfig{OpsPerThread: *ops, KeyRange: *keyRange, Seed: 42})
+				bench.ThroughputConfig{
+					OpsPerThread: *ops, KeyRange: *keyRange, Seed: 42,
+					Workload: *wl, Schedule: *mix,
+				})
+			artifact = append(artifact, rows...)
 			if err != nil {
 				return err
 			}
@@ -111,7 +205,9 @@ func main() {
 		run("EXP-MICHAEL: Harris+EBR vs Michael+HP (delete-heavy)", func() error {
 			rows, err := bench.MichaelComparison(bench.ThroughputConfig{
 				Threads: 2, OpsPerThread: *ops, KeyRange: *keyRange, Seed: 42,
+				Workload: *wl, Schedule: *mix,
 			})
+			artifact = append(artifact, rows...)
 			if err != nil {
 				return err
 			}
@@ -119,4 +215,5 @@ func main() {
 			return nil
 		})
 	}
+	writeArtifact()
 }

@@ -1,6 +1,14 @@
-// Package bench implements the experiment harness: workload generation,
-// fixed-size concurrent runs, and the table/series builders behind every
-// figure and table in EXPERIMENTS.md.
+// Package bench implements the experiment harness behind every figure and
+// table in EXPERIMENTS.md, split into three layers:
+//
+//   - internal/workload supplies the scenarios: key distributions and
+//     op-mix schedules selected by name, so a new workload is a registry
+//     entry rather than harness code;
+//   - the engine (engine.go) assembles arena + scheme + structure, runs an
+//     untimed warmup and a timed measurement phase with per-thread op
+//     loops driven by a workload.Source, and samples operation latencies;
+//   - reporting (report.go) renders the rows as fixed-width tables for
+//     the terminal and as JSON benchmark artifacts for trajectories.
 //
 // The paper itself is a theory paper with two proof illustrations and no
 // measurement section; the harness therefore regenerates (a) the paper's
@@ -10,171 +18,17 @@
 // the Harris-vs-Michael comparison the Section 6 discussion cites.
 package bench
 
-import (
-	"fmt"
-	"sync"
-	"time"
-
-	"repro/internal/ds"
-	"repro/internal/ds/registry"
-	"repro/internal/mem"
-	"repro/internal/smr"
-	"repro/internal/smr/all"
-)
+import "repro/internal/workload"
 
 // Mix is an operation mix in percent; the three fields must sum to 100.
-type Mix struct {
-	ContainsPct int
-	InsertPct   int
-	DeletePct   int
-}
-
-// String renders the mix as "c/i/d".
-func (m Mix) String() string {
-	return fmt.Sprintf("%d/%d/%d", m.ContainsPct, m.InsertPct, m.DeletePct)
-}
+// It is an alias of workload.Mix — the schedules in internal/workload
+// modulate it over a run.
+type Mix = workload.Mix
 
 // Standard mixes used across the experiments (read-heavy, mixed,
 // update-only), matching the sweeps in the IBR/NBR/VBR evaluations.
 var (
-	MixReadHeavy  = Mix{90, 5, 5}
-	MixBalanced   = Mix{50, 25, 25}
-	MixUpdateOnly = Mix{0, 50, 50}
+	MixReadHeavy  = workload.MixReadHeavy
+	MixBalanced   = workload.MixBalanced
+	MixUpdateOnly = workload.MixUpdateOnly
 )
-
-type rng uint64
-
-func (r *rng) next() uint64 {
-	*r += 0x9e3779b97f4a7c15
-	z := uint64(*r)
-	z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
-	z = (z ^ z>>27) * 0x94d049bb133111eb
-	return z ^ z>>31
-}
-
-// ThroughputRow is one measurement of the throughput experiment.
-type ThroughputRow struct {
-	Scheme    string
-	Structure string
-	Threads   int
-	Mix       Mix
-	KeyRange  int
-	Ops       int
-	Elapsed   time.Duration
-	// MopsPerSec is the headline number.
-	MopsPerSec float64
-	// PeakRetired is the largest retired backlog during the run — the
-	// space cost accompanying the throughput.
-	PeakRetired uint64
-	// Restarts counts scheme rollbacks (the integration price of the
-	// optimistic schemes).
-	Restarts uint64
-}
-
-// ThroughputConfig sizes a throughput run.
-type ThroughputConfig struct {
-	Threads      int
-	OpsPerThread int
-	KeyRange     int
-	Mix          Mix
-	Seed         uint64
-}
-
-// Throughput runs the fixed-op concurrent workload for one
-// (scheme, structure) pair and reports the rate.
-func Throughput(scheme, structure string, cfg ThroughputConfig) (ThroughputRow, error) {
-	if cfg.Threads <= 0 {
-		cfg.Threads = 2
-	}
-	if cfg.OpsPerThread <= 0 {
-		cfg.OpsPerThread = 20000
-	}
-	if cfg.KeyRange <= 0 {
-		cfg.KeyRange = 1024
-	}
-	if cfg.Mix == (Mix{}) {
-		cfg.Mix = MixBalanced
-	}
-	info, err := registry.Get(structure)
-	if err != nil {
-		return ThroughputRow{}, err
-	}
-	if info.Kind != registry.KindSet {
-		return ThroughputRow{}, fmt.Errorf("bench: throughput runs on set structures, %s is a %v", structure, info.Kind)
-	}
-	// Size the heap for the worst case: a non-robust scheme under
-	// oversubscription can delay reclamation for a whole scheduling
-	// quantum, and the leak baseline never reclaims at all — so the
-	// allocation upper bound (prefill + every op an insert) must fit.
-	a := mem.NewArena(mem.Config{
-		Slots:        cfg.KeyRange + cfg.Threads*cfg.OpsPerThread + 1024,
-		PayloadWords: info.PayloadWords,
-		MetaWords:    smr.MetaWords,
-		Threads:      cfg.Threads,
-		Mode:         mem.Reuse,
-	})
-	s, err := all.New(scheme, a, cfg.Threads, 0)
-	if err != nil {
-		return ThroughputRow{}, err
-	}
-	set, err := info.NewSet(s, ds.Options{})
-	if err != nil {
-		return ThroughputRow{}, err
-	}
-
-	// Prefill to half occupancy so contains() hit about half the time.
-	pre := rng(cfg.Seed ^ 0xf00d)
-	for i := 0; i < cfg.KeyRange/2; i++ {
-		if _, err := set.Insert(0, int64(pre.next()%uint64(cfg.KeyRange))); err != nil {
-			return ThroughputRow{}, err
-		}
-	}
-
-	var wg sync.WaitGroup
-	errs := make([]error, cfg.Threads)
-	start := time.Now()
-	for tid := 0; tid < cfg.Threads; tid++ {
-		wg.Add(1)
-		go func(tid int) {
-			defer wg.Done()
-			r := rng(cfg.Seed + uint64(tid)<<32)
-			for i := 0; i < cfg.OpsPerThread; i++ {
-				key := int64(r.next() % uint64(cfg.KeyRange))
-				roll := int(r.next() % 100)
-				var err error
-				switch {
-				case roll < cfg.Mix.ContainsPct:
-					_, err = set.Contains(tid, key)
-				case roll < cfg.Mix.ContainsPct+cfg.Mix.InsertPct:
-					_, err = set.Insert(tid, key)
-				default:
-					_, err = set.Delete(tid, key)
-				}
-				if err != nil {
-					errs[tid] = err
-					return
-				}
-			}
-		}(tid)
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-	for _, err := range errs {
-		if err != nil {
-			return ThroughputRow{}, err
-		}
-	}
-	ops := cfg.Threads * cfg.OpsPerThread
-	return ThroughputRow{
-		Scheme:      scheme,
-		Structure:   structure,
-		Threads:     cfg.Threads,
-		Mix:         cfg.Mix,
-		KeyRange:    cfg.KeyRange,
-		Ops:         ops,
-		Elapsed:     elapsed,
-		MopsPerSec:  float64(ops) / elapsed.Seconds() / 1e6,
-		PeakRetired: a.Stats().MaxRetired(),
-		Restarts:    s.Stats().Snapshot().Restarts,
-	}, nil
-}

@@ -3,7 +3,6 @@ package bench
 import (
 	"fmt"
 	"io"
-	"sort"
 
 	"repro/internal/core"
 	"repro/internal/core/adversary"
@@ -57,15 +56,6 @@ func SpaceSweep(k int) ([]SpaceRow, error) {
 		rows = append(rows, r)
 	}
 	return rows, nil
-}
-
-// WriteSpaceTable renders the space experiment.
-func WriteSpaceTable(w io.Writer, rows []SpaceRow) {
-	fmt.Fprintf(w, "%-11s %8s %13s %11s %9s %s\n", "scheme", "K", "peak-retired", "max-active", "per-churn", "safe")
-	for _, r := range rows {
-		fmt.Fprintf(w, "%-11s %8d %13d %11d %9.3f %v\n",
-			r.Scheme, r.K, r.PeakRetired, r.MaxActive, r.PerChurn, r.Safe)
-	}
 }
 
 // StallSample is one point of the backlog-over-time series (EXP-STALL).
@@ -132,31 +122,9 @@ func StallSeries(scheme string, steps, sampleEvery int) ([]StallSample, error) {
 	return series, nil
 }
 
-// WriteStallSeries renders backlog-over-time curves for several schemes.
-func WriteStallSeries(w io.Writer, series map[string][]StallSample) {
-	schemes := make([]string, 0, len(series))
-	for s := range series {
-		schemes = append(schemes, s)
-	}
-	sort.Strings(schemes)
-	fmt.Fprintf(w, "%-8s", "step")
-	for _, s := range schemes {
-		fmt.Fprintf(w, " %12s", s)
-	}
-	fmt.Fprintln(w)
-	if len(schemes) == 0 {
-		return
-	}
-	for i := range series[schemes[0]] {
-		fmt.Fprintf(w, "%-8d", series[schemes[0]][i].Step)
-		for _, s := range schemes {
-			fmt.Fprintf(w, " %12d", series[s][i].Retired)
-		}
-		fmt.Fprintln(w)
-	}
-}
-
 // ThroughputSweep runs the scheme × mix × threads sweep on one structure.
+// On error the rows measured so far are returned alongside it, so callers
+// can still report or persist the partial sweep.
 func ThroughputSweep(structure string, schemes []string, mixes []Mix, threads []int, cfg ThroughputConfig) ([]ThroughputRow, error) {
 	var rows []ThroughputRow
 	for _, scheme := range schemes {
@@ -170,23 +138,13 @@ func ThroughputSweep(structure string, schemes []string, mixes []Mix, threads []
 				c.Mix = mix
 				r, err := Throughput(scheme, structure, c)
 				if err != nil {
-					return nil, fmt.Errorf("%s × %s: %w", scheme, structure, err)
+					return rows, fmt.Errorf("%s × %s: %w", scheme, structure, err)
 				}
 				rows = append(rows, r)
 			}
 		}
 	}
 	return rows, nil
-}
-
-// WriteThroughputTable renders throughput rows.
-func WriteThroughputTable(w io.Writer, rows []ThroughputRow) {
-	fmt.Fprintf(w, "%-11s %-16s %7s %9s %9s %10s %13s %9s\n",
-		"scheme", "structure", "threads", "mix", "keyrange", "Mops/s", "peak-retired", "restarts")
-	for _, r := range rows {
-		fmt.Fprintf(w, "%-11s %-16s %7d %9s %9d %10.3f %13d %9d\n",
-			r.Scheme, r.Structure, r.Threads, r.Mix, r.KeyRange, r.MopsPerSec, r.PeakRetired, r.Restarts)
-	}
 }
 
 // MichaelComparison is the Section 6 discussion experiment (EXP-MICHAEL):
@@ -205,7 +163,7 @@ func MichaelComparison(cfg ThroughputConfig) ([]ThroughputRow, error) {
 	} {
 		r, err := Throughput(pair.scheme, pair.structure, cfg)
 		if err != nil {
-			return nil, err
+			return rows, err
 		}
 		rows = append(rows, r)
 	}

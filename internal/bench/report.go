@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// WriteThroughputTable renders throughput rows.
+func WriteThroughputTable(w io.Writer, rows []ThroughputRow) {
+	fmt.Fprintf(w, "%-11s %-16s %7s %9s %-18s %9s %10s %10s %10s %13s %9s\n",
+		"scheme", "structure", "threads", "mix", "workload", "keyrange", "Mops/s", "p50", "p99", "peak-retired", "restarts")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-11s %-16s %7d %9s %-18s %9d %10.3f %10s %10s %13d %9d\n",
+			r.Scheme, r.Structure, r.Threads, r.Mix, r.Workload+"/"+r.Schedule,
+			r.KeyRange, r.MopsPerSec, fmtLatency(r.P50), fmtLatency(r.P99), r.PeakRetired, r.Restarts)
+	}
+}
+
+func fmtLatency(d time.Duration) string {
+	if d == 0 {
+		return "-"
+	}
+	return d.Round(10 * time.Nanosecond).String()
+}
+
+// WriteSpaceTable renders the space experiment.
+func WriteSpaceTable(w io.Writer, rows []SpaceRow) {
+	fmt.Fprintf(w, "%-11s %8s %13s %11s %9s %s\n", "scheme", "K", "peak-retired", "max-active", "per-churn", "safe")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-11s %8d %13d %11d %9.3f %v\n",
+			r.Scheme, r.K, r.PeakRetired, r.MaxActive, r.PerChurn, r.Safe)
+	}
+}
+
+// WriteStallSeries renders backlog-over-time curves for several schemes.
+func WriteStallSeries(w io.Writer, series map[string][]StallSample) {
+	schemes := make([]string, 0, len(series))
+	for s := range series {
+		schemes = append(schemes, s)
+	}
+	sort.Strings(schemes)
+	fmt.Fprintf(w, "%-8s", "step")
+	for _, s := range schemes {
+		fmt.Fprintf(w, " %12s", s)
+	}
+	fmt.Fprintln(w)
+	if len(schemes) == 0 {
+		return
+	}
+	for i := range series[schemes[0]] {
+		fmt.Fprintf(w, "%-8d", series[schemes[0]][i].Step)
+		for _, s := range schemes {
+			fmt.Fprintf(w, " %12d", series[s][i].Retired)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteScaleTable renders the scale experiment.
+func WriteScaleTable(w io.Writer, rows []ScaleRow) {
+	fmt.Fprintf(w, "%-11s %8s %10s %9s\n", "scheme", "size", "backlog", "per-size")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-11s %8d %10d %9.3f\n", r.Scheme, r.Size, r.Backlog, r.PerSize)
+	}
+}
+
+// Report is the machine-readable benchmark artifact (a BENCH_*.json file):
+// one experiment name plus its rows, so successive runs form a trajectory
+// that tooling can diff and plot.
+type Report struct {
+	Experiment string          `json:"experiment"`
+	Rows       []ThroughputRow `json:"rows"`
+}
+
+// WriteJSONReport emits rows as an indented JSON benchmark artifact.
+func WriteJSONReport(w io.Writer, experiment string, rows []ThroughputRow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Report{Experiment: experiment, Rows: rows})
+}
+
+// ReadJSONReport parses an artifact written by WriteJSONReport.
+func ReadJSONReport(r io.Reader) (Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return Report{}, fmt.Errorf("bench: malformed benchmark artifact: %w", err)
+	}
+	return rep, nil
+}

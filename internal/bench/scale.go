@@ -2,7 +2,6 @@ package bench
 
 import (
 	"fmt"
-	"io"
 
 	"repro/internal/ds"
 	"repro/internal/ds/harris"
@@ -103,12 +102,4 @@ func ScaleSweep(schemes []string, sizes []int) ([]ScaleRow, error) {
 		}
 	}
 	return rows, nil
-}
-
-// WriteScaleTable renders the scale experiment.
-func WriteScaleTable(w io.Writer, rows []ScaleRow) {
-	fmt.Fprintf(w, "%-11s %8s %10s %9s\n", "scheme", "size", "backlog", "per-size")
-	for _, r := range rows {
-		fmt.Fprintf(w, "%-11s %8d %10d %9.3f\n", r.Scheme, r.Size, r.Backlog, r.PerSize)
-	}
 }

@@ -1,5 +1,7 @@
 // Package hist records operation histories and checks them for
-// linearizability against sequential specifications.
+// linearizability against sequential specifications; it also provides the
+// log-bucketed latency histogram (Latency) the benchmark engine samples
+// operation timings into.
 //
 // It implements the formalism of Section 3 of the paper: an execution is
 // modelled by its history (the sub-sequence of operation invocation and

@@ -96,6 +96,18 @@ type threadCache struct {
 	_     pad
 }
 
+// freeStripe is one shard of the free list. Each thread owns one stripe
+// (its home for pushes and the first stop for pops) and steals from the
+// others only when its own runs dry, so free-list traffic stays
+// thread-local until the heap is nearly exhausted.
+type freeStripe struct {
+	head atomic.Uint64 // stamp<<32 | (slot+1); 0 means empty
+	// Pad to 128 bytes so neighbouring stripes don't share an
+	// adjacent-line prefetch pair (the head CAS is the hottest shared
+	// word the sharding exists to de-contend).
+	_ [120]byte
+}
+
 // Arena is the simulated manually-managed heap: a fixed slab of node slots
 // with explicit allocation, retirement and reclamation, and validity
 // checking on every access.
@@ -111,7 +123,7 @@ type Arena struct {
 	data []atomic.Uint64 // Slots * PayloadWords
 	meta []atomic.Uint64 // Slots * MetaWords
 
-	freeHead atomic.Uint64 // stamp<<32 | (slot+1)
+	free     []freeStripe // per-thread-striped free-list heads
 	freeNext []atomic.Uint32
 	caches   []threadCache
 
@@ -140,20 +152,35 @@ func NewArena(cfg Config) *Arena {
 		cfg:      cfg,
 		hdr:      make([]atomic.Uint64, cfg.Slots),
 		data:     make([]atomic.Uint64, cfg.Slots*cfg.PayloadWords),
+		free:     make([]freeStripe, cfg.Threads),
 		freeNext: make([]atomic.Uint32, cfg.Slots),
 		caches:   make([]threadCache, cfg.Threads),
 	}
+	a.stats.init(cfg.Threads)
 	if cfg.MetaWords > 0 {
 		a.meta = make([]atomic.Uint64, cfg.Slots*cfg.MetaWords)
 	}
 	if cfg.Trace {
 		a.tracer = NewTracer(cfg.Threads)
 	}
-	// Chain every slot onto the global free list: slot i -> slot i+1.
-	for i := 0; i < cfg.Slots-1; i++ {
-		a.freeNext[i].Store(uint32(i + 2))
+	// Partition the slots into one contiguous block per stripe and chain
+	// each block: slot i -> slot i+1 within the block.
+	stripes := len(a.free)
+	per := cfg.Slots / stripes
+	for k := 0; k < stripes; k++ {
+		lo := k * per
+		hi := lo + per
+		if k == stripes-1 {
+			hi = cfg.Slots
+		}
+		if lo >= hi {
+			continue
+		}
+		for i := lo; i < hi-1; i++ {
+			a.freeNext[i].Store(uint32(i + 2))
+		}
+		a.free[k].head.Store(uint64(lo + 1)) // stamp 0, head slot lo
 	}
-	a.freeHead.Store(1) // stamp 0, head slot 0
 	return a
 }
 
@@ -189,30 +216,58 @@ func (a *Arena) Valid(r Ref) bool {
 
 // --- free-list management -------------------------------------------------
 
-func (a *Arena) pushFreeGlobal(slot int) {
+func (a *Arena) pushFreeStripe(k, slot int) {
+	h := &a.free[k].head
 	for {
-		old := a.freeHead.Load()
+		old := h.Load()
 		a.freeNext[slot].Store(uint32(old))
 		stamp := old>>32 + 1
-		if a.freeHead.CompareAndSwap(old, stamp<<32|uint64(slot+1)) {
+		if h.CompareAndSwap(old, stamp<<32|uint64(slot+1)) {
 			return
 		}
 	}
 }
 
-func (a *Arena) popFreeGlobal() (int, bool) {
+func (a *Arena) popFreeStripe(k int) (int, bool) {
+	h := &a.free[k].head
 	for {
-		old := a.freeHead.Load()
+		old := h.Load()
 		head := uint32(old)
 		if head == 0 {
 			return 0, false
 		}
 		next := a.freeNext[head-1].Load()
 		stamp := old>>32 + 1
-		if a.freeHead.CompareAndSwap(old, stamp<<32|uint64(next)) {
+		if h.CompareAndSwap(old, stamp<<32|uint64(next)) {
 			return int(head - 1), true
 		}
 	}
+}
+
+// pushFree returns slot to thread tid's home stripe.
+func (a *Arena) pushFree(tid, slot int) {
+	a.pushFreeStripe(tid%len(a.free), slot)
+}
+
+// popFree takes a free slot for thread tid: from its home stripe when
+// possible, stealing round-robin from the other stripes when the home is
+// empty. The all-stripes-empty check is not linearizable (a slot can cycle
+// onto an already-scanned stripe mid-scan), so a failed scan retries once
+// before declaring exhaustion; a genuinely empty heap still fails fast,
+// and residual spurious failures match the transient-exhaustion semantics
+// the per-thread caches already give the heap (a free slot parked in
+// another thread's cache has never been visible here).
+func (a *Arena) popFree(tid int) (int, bool) {
+	n := len(a.free)
+	home := tid % n
+	for round := 0; round < 2; round++ {
+		for i := 0; i < n; i++ {
+			if slot, ok := a.popFreeStripe((home + i) % n); ok {
+				return slot, true
+			}
+		}
+	}
+	return 0, false
 }
 
 // --- life-cycle operations --------------------------------------------------
@@ -230,9 +285,9 @@ func (a *Arena) Alloc(tid int) (Ref, error) {
 		slot = c.slots[n-1]
 		c.slots = c.slots[:n-1]
 	} else {
-		s, ok := a.popFreeGlobal()
+		s, ok := a.popFree(tid)
 		if !ok {
-			a.stats.oom.Add(1)
+			a.stats.stripe(tid).oom.Add(1)
 			return NilRef, ErrOOM
 		}
 		slot = s
@@ -240,7 +295,7 @@ func (a *Arena) Alloc(tid int) (Ref, error) {
 	h := a.hdr[slot].Load()
 	seq, st := unpackHdr(h)
 	if st != Unallocated {
-		a.stats.violations.Add(1)
+		a.stats.stripe(tid).violations.Add(1)
 		return NilRef, fmt.Errorf("%w: allocating slot %d in state %v", ErrLifecycle, slot, st)
 	}
 	// Zero payload words before publishing the node.
@@ -249,7 +304,7 @@ func (a *Arena) Alloc(tid int) (Ref, error) {
 		a.data[base+w].Store(0)
 	}
 	a.hdr[slot].Store(packHdr(seq, Local))
-	a.stats.allocs.Add(1)
+	a.stats.stripe(tid).allocs.Add(1)
 	act := a.stats.active.Add(1)
 	a.stats.bumpMaxActive(act)
 	r := MakeRef(slot, seq)
@@ -268,7 +323,7 @@ func (a *Arena) MarkShared(r Ref) error {
 		h := a.hdr[slot].Load()
 		seq, st := unpackHdr(h)
 		if seq&TagMask != r.Tag() {
-			a.stats.violations.Add(1)
+			a.stats.stripe(0).violations.Add(1)
 			return fmt.Errorf("%w: sharing through invalid reference %v", ErrLifecycle, r)
 		}
 		switch st {
@@ -279,7 +334,7 @@ func (a *Arena) MarkShared(r Ref) error {
 				return nil
 			}
 		default:
-			a.stats.violations.Add(1)
+			a.stats.stripe(0).violations.Add(1)
 			return fmt.Errorf("%w: sharing node in state %v", ErrLifecycle, st)
 		}
 	}
@@ -294,15 +349,15 @@ func (a *Arena) Retire(tid int, r Ref) error {
 		h := a.hdr[slot].Load()
 		seq, st := unpackHdr(h)
 		if seq&TagMask != r.Tag() {
-			a.stats.violations.Add(1)
+			a.stats.stripe(tid).violations.Add(1)
 			return fmt.Errorf("%w: retiring through invalid reference %v", ErrLifecycle, r)
 		}
 		if st != Local && st != Shared {
-			a.stats.violations.Add(1)
+			a.stats.stripe(tid).violations.Add(1)
 			return fmt.Errorf("%w: retiring node in state %v", ErrLifecycle, st)
 		}
 		if a.hdr[slot].CompareAndSwap(h, packHdr(seq, Retired)) {
-			a.stats.retires.Add(1)
+			a.stats.stripe(tid).retires.Add(1)
 			a.stats.active.Add(^uint64(0))
 			ret := a.stats.retired.Add(1)
 			a.stats.bumpMaxRetired(ret)
@@ -324,11 +379,11 @@ func (a *Arena) Reclaim(tid int, r Ref) error {
 		h := a.hdr[slot].Load()
 		seq, st := unpackHdr(h)
 		if seq&TagMask != r.Tag() {
-			a.stats.violations.Add(1)
+			a.stats.stripe(tid).violations.Add(1)
 			return fmt.Errorf("%w: reclaiming through invalid reference %v", ErrLifecycle, r)
 		}
 		if st != Retired {
-			a.stats.violations.Add(1)
+			a.stats.stripe(tid).violations.Add(1)
 			return fmt.Errorf("%w: reclaiming node in state %v", ErrLifecycle, st)
 		}
 		next := Unallocated
@@ -336,7 +391,7 @@ func (a *Arena) Reclaim(tid int, r Ref) error {
 			next = System
 		}
 		if a.hdr[slot].CompareAndSwap(h, packHdr(seq+1, next)) {
-			a.stats.reclaims.Add(1)
+			a.stats.stripe(tid).reclaims.Add(1)
 			a.stats.retired.Add(^uint64(0))
 			if a.tracer != nil {
 				a.tracer.record(tid, TraceEvent{Kind: EvReclaim, Slot: slot, Ref: r})
@@ -346,7 +401,7 @@ func (a *Arena) Reclaim(tid int, r Ref) error {
 				if len(c.slots) < a.cfg.CacheSize {
 					c.slots = append(c.slots, slot)
 				} else {
-					a.pushFreeGlobal(slot)
+					a.pushFree(tid, slot)
 				}
 			}
 			return nil
@@ -379,11 +434,11 @@ func (a *Arena) Load(tid int, r Ref, w int) (uint64, error) {
 	err := a.check(r)
 	if err != nil {
 		if errors.Is(err, ErrFault) {
-			a.stats.faults.Add(1)
+			a.stats.stripe(tid).faults.Add(1)
 			a.trace(tid, EvLoad, r, w, 0, true)
 			return 0, err
 		}
-		a.stats.unsafeLoads.Add(1)
+		a.stats.stripe(tid).unsafeLoads.Add(1)
 		v := a.data[r.Slot()*a.cfg.PayloadWords+w].Load()
 		a.trace(tid, EvLoad, r, w, v, true)
 		return v, err
@@ -399,9 +454,9 @@ func (a *Arena) Load(tid int, r Ref, w int) (uint64, error) {
 func (a *Arena) Store(tid int, r Ref, w int, v uint64) error {
 	if err := a.check(r); err != nil {
 		if errors.Is(err, ErrFault) {
-			a.stats.faults.Add(1)
+			a.stats.stripe(tid).faults.Add(1)
 		} else {
-			a.stats.unsafeStores.Add(1)
+			a.stats.stripe(tid).unsafeStores.Add(1)
 		}
 		a.trace(tid, EvStore, r, w, v, true)
 		return err
@@ -420,9 +475,9 @@ func (a *Arena) Store(tid int, r Ref, w int, v uint64) error {
 func (a *Arena) CAS(tid int, r Ref, w int, old, new uint64) (bool, error) {
 	if err := a.check(r); err != nil {
 		if errors.Is(err, ErrFault) {
-			a.stats.faults.Add(1)
+			a.stats.stripe(tid).faults.Add(1)
 		} else {
-			a.stats.unsafeStores.Add(1)
+			a.stats.stripe(tid).unsafeStores.Add(1)
 		}
 		a.trace(tid, EvCAS, r, w, new, true)
 		return false, err
@@ -438,9 +493,9 @@ func (a *Arena) CAS(tid int, r Ref, w int, old, new uint64) (bool, error) {
 			a.data[r.Slot()*a.cfg.PayloadWords+w].CompareAndSwap(new, old)
 		}
 		if errors.Is(err, ErrFault) {
-			a.stats.faults.Add(1)
+			a.stats.stripe(tid).faults.Add(1)
 		} else {
-			a.stats.unsafeStores.Add(1)
+			a.stats.stripe(tid).unsafeStores.Add(1)
 		}
 		a.trace(tid, EvCAS, r, w, new, true)
 		return false, err

@@ -2,32 +2,80 @@ package mem
 
 import "sync/atomic"
 
-// Stats holds the arena's accounting counters. The counters are the raw
-// material for the paper's property monitors: active and retired node
-// counts drive the robustness bound of Definitions 5.1–5.2, and the unsafe
-// access counters drive the safety check of Definitions 4.1–4.2.
-//
-// Counters are padded to separate cache lines: they are on the allocation
-// and retirement hot paths of every benchmark.
-type Stats struct {
+// statStripe holds one thread's share of the event counters. Eight words
+// fill exactly one cache line; the trailing pad keeps neighbouring stripes
+// (and the adjacent-line prefetcher) from sharing.
+type statStripe struct {
 	allocs       atomic.Uint64
-	_            pad
 	reclaims     atomic.Uint64
-	_            pad
 	retires      atomic.Uint64
-	_            pad
-	active       atomic.Uint64 // allocated and not yet retired
-	_            pad
-	retired      atomic.Uint64 // retired and not yet reclaimed
-	_            pad
-	maxActive    atomic.Uint64
-	maxRetired   atomic.Uint64
-	_            pad
 	unsafeLoads  atomic.Uint64
 	unsafeStores atomic.Uint64
 	faults       atomic.Uint64
 	violations   atomic.Uint64
 	oom          atomic.Uint64
+	_            [64]byte
+}
+
+// Stats holds the arena's accounting counters. The counters are the raw
+// material for the paper's property monitors: active and retired node
+// counts drive the robustness bound of Definitions 5.1–5.2, and the unsafe
+// access counters drive the safety check of Definitions 4.1–4.2.
+//
+// The counters come in two kinds with different scalability treatments:
+//
+//   - Monotonic event counts (allocs, retires, reclaims, unsafe accesses,
+//     faults, violations, OOMs) are striped per thread and aggregated on
+//     read. They sit on the hot path of every benchmark operation, and a
+//     striped add never contends; the aggregate is exact whenever the
+//     readers care (at quiescence, and within the usual snapshot slack
+//     while threads run).
+//   - Level gauges and their watermarks (active/maxActive,
+//     retired/maxRetired) stay global. The watermarks are the monitors'
+//     primary observable — max_active_E and the retired backlog peak of
+//     Definitions 5.1–5.2 — and must be exact even mid-execution, which a
+//     striped gauge cannot provide. They cost one uncontended load plus a
+//     rare CAS once the maximum stabilizes.
+type Stats struct {
+	stripes []statStripe
+	// The pad keeps the read-mostly slice header off the gauges' cache
+	// lines: every striped add loads the header, every gauge update would
+	// otherwise invalidate it.
+	_ pad
+
+	active     atomic.Uint64 // allocated and not yet retired
+	_          pad
+	retired    atomic.Uint64 // retired and not yet reclaimed
+	_          pad
+	maxActive  atomic.Uint64
+	_          pad
+	maxRetired atomic.Uint64
+	_          pad
+}
+
+// init sizes the per-thread stripes. Called once by NewArena.
+func (s *Stats) init(threads int) {
+	if threads <= 0 {
+		threads = 1
+	}
+	s.stripes = make([]statStripe, threads)
+}
+
+// stripe returns thread tid's counter stripe. Counters recorded outside
+// any thread context (life-cycle checks without a tid) use stripe 0.
+func (s *Stats) stripe(tid int) *statStripe {
+	if tid < 0 || tid >= len(s.stripes) {
+		tid = 0
+	}
+	return &s.stripes[tid]
+}
+
+func (s *Stats) sum(f func(*statStripe) *atomic.Uint64) uint64 {
+	var v uint64
+	for i := range s.stripes {
+		v += f(&s.stripes[i]).Load()
+	}
+	return v
 }
 
 func (s *Stats) bumpMaxActive(v uint64) {
@@ -53,13 +101,19 @@ func (s *Stats) bumpMaxRetired(v uint64) {
 func (s *Stats) Active() uint64 { return s.active.Load() }
 
 // Allocs returns the total number of allocations.
-func (s *Stats) Allocs() uint64 { return s.allocs.Load() }
+func (s *Stats) Allocs() uint64 {
+	return s.sum(func(t *statStripe) *atomic.Uint64 { return &t.allocs })
+}
 
 // Reclaims returns the total number of reclamations.
-func (s *Stats) Reclaims() uint64 { return s.reclaims.Load() }
+func (s *Stats) Reclaims() uint64 {
+	return s.sum(func(t *statStripe) *atomic.Uint64 { return &t.reclaims })
+}
 
 // Retires returns the total number of retirements.
-func (s *Stats) Retires() uint64 { return s.retires.Load() }
+func (s *Stats) Retires() uint64 {
+	return s.sum(func(t *statStripe) *atomic.Uint64 { return &t.retires })
+}
 
 // Retired returns the current number of retired-but-not-reclaimed nodes,
 // the quantity bounded by the robustness definitions.
@@ -73,22 +127,30 @@ func (s *Stats) MaxActive() uint64 { return s.maxActive.Load() }
 func (s *Stats) MaxRetired() uint64 { return s.maxRetired.Load() }
 
 // UnsafeLoads returns the number of loads through invalid references.
-func (s *Stats) UnsafeLoads() uint64 { return s.unsafeLoads.Load() }
+func (s *Stats) UnsafeLoads() uint64 {
+	return s.sum(func(t *statStripe) *atomic.Uint64 { return &t.unsafeLoads })
+}
 
 // UnsafeStores returns the number of refused stores/CASes through invalid
 // references.
-func (s *Stats) UnsafeStores() uint64 { return s.unsafeStores.Load() }
+func (s *Stats) UnsafeStores() uint64 {
+	return s.sum(func(t *statStripe) *atomic.Uint64 { return &t.unsafeStores })
+}
 
 // Faults returns the number of simulated segmentation faults (accesses to
 // system space).
-func (s *Stats) Faults() uint64 { return s.faults.Load() }
+func (s *Stats) Faults() uint64 {
+	return s.sum(func(t *statStripe) *atomic.Uint64 { return &t.faults })
+}
 
 // Violations returns the number of life-cycle violations (double retire,
 // retire of unallocated memory, ...).
-func (s *Stats) Violations() uint64 { return s.violations.Load() }
+func (s *Stats) Violations() uint64 {
+	return s.sum(func(t *statStripe) *atomic.Uint64 { return &t.violations })
+}
 
 // OOMs returns the number of failed allocations due to heap exhaustion.
-func (s *Stats) OOMs() uint64 { return s.oom.Load() }
+func (s *Stats) OOMs() uint64 { return s.sum(func(t *statStripe) *atomic.Uint64 { return &t.oom }) }
 
 // Snapshot is a consistent-enough copy of all counters for reporting.
 type Snapshot struct {
@@ -104,20 +166,24 @@ type Snapshot struct {
 // monitors (they evaluate bounds, not exact invariants, while threads run,
 // and exact values once threads are quiescent).
 func (s *Stats) Snapshot() Snapshot {
-	return Snapshot{
-		Allocs:       s.allocs.Load(),
-		Reclaims:     s.reclaims.Load(),
-		Retires:      s.retires.Load(),
-		Active:       s.active.Load(),
-		Retired:      s.retired.Load(),
-		MaxActive:    s.maxActive.Load(),
-		MaxRetired:   s.maxRetired.Load(),
-		UnsafeLoads:  s.unsafeLoads.Load(),
-		UnsafeStores: s.unsafeStores.Load(),
-		Faults:       s.faults.Load(),
-		Violations:   s.violations.Load(),
-		OOMs:         s.oom.Load(),
+	sn := Snapshot{
+		Active:     s.active.Load(),
+		Retired:    s.retired.Load(),
+		MaxActive:  s.maxActive.Load(),
+		MaxRetired: s.maxRetired.Load(),
 	}
+	for i := range s.stripes {
+		t := &s.stripes[i]
+		sn.Allocs += t.allocs.Load()
+		sn.Reclaims += t.reclaims.Load()
+		sn.Retires += t.retires.Load()
+		sn.UnsafeLoads += t.unsafeLoads.Load()
+		sn.UnsafeStores += t.unsafeStores.Load()
+		sn.Faults += t.faults.Load()
+		sn.Violations += t.violations.Load()
+		sn.OOMs += t.oom.Load()
+	}
+	return sn
 }
 
 // UnsafeAccesses returns the total number of unsafe accesses (loads,

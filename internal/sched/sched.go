@@ -28,15 +28,20 @@ type Gate interface {
 // Stall is an armed breakpoint: the director waits on Reached, the parked
 // thread waits for Release.
 type Stall struct {
-	reached chan struct{}
-	release chan struct{}
+	reached     chan struct{}
+	release     chan struct{}
+	releaseOnce sync.Once
 }
 
 // Reached is closed when some thread parks at the breakpoint.
 func (s *Stall) Reached() <-chan struct{} { return s.reached }
 
-// Release unparks the thread. It is idempotent-unsafe: call exactly once.
-func (s *Stall) Release() { close(s.release) }
+// Release unparks the thread. It is idempotent: only the first call
+// releases, later calls are no-ops, so directors may release defensively
+// on every exit path.
+func (s *Stall) Release() {
+	s.releaseOnce.Do(func() { close(s.release) })
+}
 
 type bp struct {
 	point string

@@ -89,3 +89,41 @@ func TestHitWithNoArm(t *testing.T) {
 	b := NewBreakpoints()
 	b.Hit(3, "anything", 42) // must be a no-op
 }
+
+// TestReleaseIdempotent: directors commonly release once on the happy path
+// and again in a deferred cleanup; the second call must be a no-op, not a
+// double-close panic.
+func TestReleaseIdempotent(t *testing.T) {
+	b := NewBreakpoints()
+	stall := b.Arm(0, "p", nil, 0)
+	task := Go(func() error {
+		b.Hit(0, "p", 0)
+		return nil
+	})
+	<-stall.Reached()
+	stall.Release()
+	stall.Release() // must not panic
+	if err := task.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// Releasing concurrently from several goroutines is equally safe.
+	stall2 := b.Arm(0, "p", nil, 0)
+	task2 := Go(func() error {
+		b.Hit(0, "p", 0)
+		return nil
+	})
+	<-stall2.Reached()
+	done := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		go func() {
+			stall2.Release()
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+	if err := task2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}

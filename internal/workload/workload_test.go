@@ -1,0 +1,252 @@
+package workload
+
+import (
+	"testing"
+)
+
+func drawKeys(t *testing.T, dist, sched string, n int) ([]int64, []Op) {
+	t.Helper()
+	src, err := New(Config{Dist: dist, Schedule: sched, KeyRange: 1024, Mix: MixBalanced, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := src.Thread(0, n)
+	keys := make([]int64, n)
+	ops := make([]Op, n)
+	for i := range keys {
+		ops[i], keys[i] = st.Next()
+	}
+	return keys, ops
+}
+
+func TestStreamsAreDeterministic(t *testing.T) {
+	for _, dist := range DistNames() {
+		a, aops := drawKeys(t, dist, "steady", 2000)
+		b, bops := drawKeys(t, dist, "steady", 2000)
+		for i := range a {
+			if a[i] != b[i] || aops[i] != bops[i] {
+				t.Fatalf("%s: draw %d differs: (%v,%d) vs (%v,%d)", dist, i, aops[i], a[i], bops[i], b[i])
+			}
+		}
+	}
+}
+
+func TestThreadsAreIndependent(t *testing.T) {
+	src, err := New(Config{Dist: "uniform", KeyRange: 1 << 20, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, s1 := src.Thread(0, 100), src.Thread(1, 100)
+	same := 0
+	for i := 0; i < 100; i++ {
+		_, k0 := s0.Next()
+		_, k1 := s1.Next()
+		if k0 == k1 {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("threads drew %d/100 identical keys over a 2^20 range", same)
+	}
+}
+
+func TestKeysInRange(t *testing.T) {
+	for _, dist := range DistNames() {
+		keys, _ := drawKeys(t, dist, "steady", 5000)
+		for _, k := range keys {
+			if k < 0 || k >= 1024 {
+				t.Fatalf("%s: key %d out of [0,1024)", dist, k)
+			}
+		}
+	}
+}
+
+// TestZipfianSkew: the most popular key must absorb far more draws than a
+// uniform distribution would give it, and the top decile the bulk.
+func TestZipfianSkew(t *testing.T) {
+	keys, _ := drawKeys(t, "zipfian", "steady", 20000)
+	counts := map[int64]int{}
+	for _, k := range keys {
+		counts[k]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	// Uniform expectation is ~20 draws per key over 1024 keys.
+	if max < 200 {
+		t.Errorf("zipfian: hottest key drew %d/20000, want heavy skew", max)
+	}
+	uni, _ := drawKeys(t, "uniform", "steady", 20000)
+	ucounts := map[int64]int{}
+	umax := 0
+	for _, k := range uni {
+		ucounts[k]++
+		if ucounts[k] > umax {
+			umax = ucounts[k]
+		}
+	}
+	if max < 4*umax {
+		t.Errorf("zipfian max %d not clearly above uniform max %d", max, umax)
+	}
+}
+
+// TestHotsetConcentration: ~90% of draws land on ~10% of the keys.
+func TestHotsetConcentration(t *testing.T) {
+	keys, _ := drawKeys(t, "hotset", "steady", 20000)
+	counts := map[int64]int{}
+	for _, k := range keys {
+		counts[k]++
+	}
+	// The hot keys are the ~102 scrambled ranks; measure how many draws the
+	// 128 most popular keys absorbed.
+	pop := make([]int, 0, len(counts))
+	for _, c := range counts {
+		pop = append(pop, c)
+	}
+	for i := 0; i < len(pop); i++ {
+		for j := i + 1; j < len(pop); j++ {
+			if pop[j] > pop[i] {
+				pop[i], pop[j] = pop[j], pop[i]
+			}
+		}
+		if i == 127 {
+			break
+		}
+	}
+	hot := 0
+	for i := 0; i < 128 && i < len(pop); i++ {
+		hot += pop[i]
+	}
+	if hot < 16000 {
+		t.Errorf("hotset: top-128 keys drew %d/20000, want >= 16000", hot)
+	}
+}
+
+// TestShiftingWindowMoves: early and late draws come from disjoint regions.
+func TestShiftingWindowMoves(t *testing.T) {
+	keys, _ := drawKeys(t, "shifting", "steady", 10000)
+	early := keys[:500]
+	late := keys[len(keys)-500:]
+	var earlyMax, lateMin int64 = 0, 1 << 62
+	for _, k := range early {
+		if k > earlyMax {
+			earlyMax = k
+		}
+	}
+	for _, k := range late {
+		if k < lateMin {
+			lateMin = k
+		}
+	}
+	if lateMin <= earlyMax-128 {
+		t.Errorf("shifting: late window [min %d] overlaps early window [max %d]", lateMin, earlyMax)
+	}
+}
+
+// TestPhasedSchedule: read-burst phases are contains-heavy, base phases
+// follow the base mix.
+func TestPhasedSchedule(t *testing.T) {
+	s, err := NewSchedule("phased", MixUpdateOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := s.MixAt(0, 8000); m != MixReadBurst {
+		t.Errorf("phase 0 mix = %v, want read burst", m)
+	}
+	if m := s.MixAt(1500, 8000); m != MixUpdateOnly {
+		t.Errorf("phase 1 mix = %v, want base", m)
+	}
+	// Past the declared total the final phase's mix stays in force.
+	if m := s.MixAt(9000, 8000); m != MixUpdateOnly {
+		t.Errorf("post-total mix = %v, want final phase", m)
+	}
+}
+
+func TestOversubYields(t *testing.T) {
+	s, err := NewSchedule("oversub", MixBalanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.YieldEvery() <= 0 {
+		t.Fatal("oversub must yield")
+	}
+	if m := s.MixAt(5, 100); m != MixBalanced {
+		t.Errorf("oversub mix = %v, want base", m)
+	}
+}
+
+func TestMixOpSplit(t *testing.T) {
+	src, err := New(Config{Dist: "uniform", KeyRange: 64, Mix: Mix{80, 10, 10}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := src.Thread(0, 20000)
+	var n [3]int
+	for i := 0; i < 20000; i++ {
+		op, _ := st.Next()
+		n[op]++
+	}
+	if n[OpContains] < 15000 || n[OpInsert] > 3000 || n[OpDelete] > 3000 {
+		t.Errorf("op split %v does not track mix 80/10/10", n)
+	}
+}
+
+func TestRegistryErrors(t *testing.T) {
+	if _, err := New(Config{Dist: "nosuch"}); err == nil {
+		t.Error("unknown distribution must error")
+	}
+	if _, err := New(Config{Schedule: "nosuch"}); err == nil {
+		t.Error("unknown schedule must error")
+	}
+	if _, err := New(Config{Mix: Mix{50, 50, 50}}); err == nil {
+		t.Error("mix not summing to 100 must error")
+	}
+	if _, err := New(Config{Mix: Mix{-10, 110, 0}}); err == nil {
+		t.Error("mix with a negative component must error")
+	}
+	if _, err := ParseMix("-10/110/0"); err == nil {
+		t.Error("ParseMix must reject negative components")
+	}
+	// A non-positive range clamps to the default instead of arming a
+	// divide-by-zero in the first draw.
+	d, err := NewDist("uniform", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := RNG(1)
+	if k := d.Key(&r, 0, 1); k < 0 || k >= 1024 {
+		t.Errorf("clamped range drew key %d outside [0,1024)", k)
+	}
+}
+
+func TestRegistryNames(t *testing.T) {
+	wantD := []string{"hotset", "shifting", "uniform", "zipfian"}
+	got := DistNames()
+	for _, w := range wantD {
+		found := false
+		for _, g := range got {
+			if g == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("distribution %q missing from %v", w, got)
+		}
+	}
+	wantS := []string{"oversub", "phased", "steady"}
+	gotS := ScheduleNames()
+	for _, w := range wantS {
+		found := false
+		for _, g := range gotS {
+			if g == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("schedule %q missing from %v", w, gotS)
+		}
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/smr"
 	"repro/internal/smr/all"
+	"repro/internal/workload"
 )
 
 // Heap is the simulated manually-managed heap (see internal/mem).
@@ -121,6 +122,31 @@ func RunFigure1(scheme string, k int) (*AdversaryOutcome, error) {
 // RunFigure2 replays the Appendix E incompatibility execution.
 func RunFigure2(scheme string) (*AdversaryOutcome, error) {
 	return adversary.Figure2(scheme, mem.Unmap)
+}
+
+// WorkloadNames lists the registered key distributions.
+func WorkloadNames() []string { return workload.DistNames() }
+
+// ScheduleNames lists the registered op-mix schedules.
+func ScheduleNames() []string { return workload.ScheduleNames() }
+
+// BenchConfig sizes a throughput run; Workload and Schedule select the
+// scenario by name.
+type BenchConfig = bench.ThroughputConfig
+
+// BenchRow is one throughput measurement with latency percentiles.
+type BenchRow = bench.ThroughputRow
+
+// RunThroughput measures one (scheme, structure) pair under the configured
+// workload.
+func RunThroughput(scheme, structure string, cfg BenchConfig) (BenchRow, error) {
+	return bench.Throughput(scheme, structure, cfg)
+}
+
+// WriteBenchArtifact emits rows as the machine-readable JSON benchmark
+// artifact format (BENCH_*.json).
+func WriteBenchArtifact(w io.Writer, experiment string, rows []BenchRow) error {
+	return bench.WriteJSONReport(w, experiment, rows)
 }
 
 // ERAMatrix is the assembled two-of-three matrix.
