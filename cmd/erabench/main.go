@@ -6,6 +6,7 @@
 //	erabench -exp stall        # EXP-STALL:   backlog-over-time curves
 //	erabench -exp throughput   # EXP-THRU:    scheme × mix × threads sweep
 //	erabench -exp michael      # EXP-MICHAEL: Harris+EBR vs Michael+HP
+//	erabench -exp service      # EXP-SERVICE: sharded store, per-shard SMR
 //	erabench -exp all          # everything
 //
 // The throughput experiments are workload-driven: -workload names the key
@@ -31,7 +32,8 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: matrix|space|scale|stall|throughput|structures|michael|all")
+	exp := flag.String("exp", "all", "experiment: matrix|space|scale|stall|throughput|structures|michael|service|all")
+	shards := flag.Int("shards", 4, "shard count for the service experiment")
 	k := flag.Int("k", 800, "churn length for space/matrix experiments")
 	ops := flag.Int("ops", 20000, "operations per thread for throughput experiments")
 	keyRange := flag.Int("keyrange", 1024, "key universe for throughput experiments")
@@ -43,7 +45,7 @@ func main() {
 	jsonPath := flag.String("json", "", "write throughput rows as a JSON benchmark artifact to this path")
 	flag.Parse()
 
-	exps := []string{"matrix", "space", "scale", "stall", "throughput", "structures", "michael", "all"}
+	exps := []string{"matrix", "space", "scale", "stall", "throughput", "structures", "michael", "service", "all"}
 	known := false
 	for _, e := range exps {
 		known = known || e == *exp
@@ -59,7 +61,7 @@ func main() {
 	// throughput experiment starts, discarding earlier experiments' work.
 	// Only the experiments that consume a flag validate it, so e.g.
 	// -exp stall ignores -structure as it always has.
-	if want("throughput") || want("michael") {
+	if want("throughput") || want("michael") || want("service") {
 		if _, err := workload.NewDist(*wl, 2); err != nil {
 			fmt.Fprintf(os.Stderr, "erabench: %v\n", err)
 			os.Exit(2)
@@ -198,6 +200,29 @@ func main() {
 					fmt.Println(o)
 				}
 			}
+			return nil
+		})
+	}
+	if want("service") {
+		run(fmt.Sprintf("EXP-SERVICE: sharded store, heterogeneous SMR (ebr+hp, %d shards)", *shards), func() error {
+			// The canned deployment alternates EBR and HP across shards of
+			// the HP-compatible hashmap — the ERA trade-off made per shard.
+			// eraserve exposes the full configuration surface and owns the
+			// BENCH_service.json artifact.
+			res, err := bench.RunService(bench.ServiceConfig{
+				Shards:       *shards,
+				Schemes:      []string{"ebr", "hp"},
+				Structure:    "hashmap",
+				OpsPerClient: *ops,
+				KeyRange:     *keyRange,
+				Workload:     *wl,
+				Schedule:     *mix,
+				Seed:         42,
+			})
+			if err != nil {
+				return err
+			}
+			bench.WriteServiceTable(os.Stdout, res)
 			return nil
 		})
 	}

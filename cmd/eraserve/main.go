@@ -1,0 +1,119 @@
+// Command eraserve drives the sharded multi-tenant store with a
+// closed-loop client fleet and reports service-level results: per-shard
+// throughput and backlog, aggregate rate, and request p50/p99.
+//
+//	eraserve -shards 8 -scheme hp -ds hashmap -workload zipfian
+//	eraserve -shards 4 -scheme hp,ebr -clients 16 -batch 32
+//
+// -scheme takes a comma-separated list cycled across shards, so
+// heterogeneous deployments (the ERA trade-off made per shard: robust HP
+// where the backlog bound matters, cheap EBR elsewhere) are one flag
+// away. The measurement is written as a machine-readable artifact
+// (BENCH_service.json by default; -json "" disables).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/ds/registry"
+	"repro/internal/smr/all"
+	"repro/internal/workload"
+)
+
+func main() {
+	shards := flag.Int("shards", 8, "shard count")
+	scheme := flag.String("scheme", "ebr",
+		fmt.Sprintf("comma-separated reclamation schemes, cycled across shards %v", all.SafeNames()))
+	dsName := flag.String("ds", "hashmap", "set structure per shard (ds/registry name)")
+	workers := flag.Int("workers", 1, "worker goroutines per shard")
+	clients := flag.Int("clients", 0, "closed-loop client goroutines (0 = 2×shards)")
+	ops := flag.Int("ops", 20000, "measured operations per client")
+	batch := flag.Int("batch", 16, "operations per service request")
+	keyRange := flag.Int("keyrange", 8192, "key universe size")
+	wl := flag.String("workload", "zipfian",
+		fmt.Sprintf("key distribution %v", workload.DistNames()))
+	mix := flag.String("mix", "steady",
+		fmt.Sprintf("op-mix schedule %v", workload.ScheduleNames()))
+	opmix := flag.String("opmix", "50/25/25", "base contains/insert/delete percentages")
+	seed := flag.Uint64("seed", 42, "workload seed")
+	jsonPath := flag.String("json", "BENCH_service.json", "service artifact path (empty disables)")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "eraserve: %v\n", err)
+		os.Exit(2)
+	}
+	// Validate selections up front: a typo must not surface after a long
+	// prefill, and an unwritable artifact path not after the run.
+	schemes := strings.Split(*scheme, ",")
+	for _, s := range schemes {
+		if _, err := all.Props(s); err != nil {
+			fail(err)
+		}
+	}
+	info, err := registry.Get(*dsName)
+	if err != nil {
+		fail(err)
+	}
+	for _, s := range schemes {
+		if !registry.Applicable(s, info.Name) {
+			fail(fmt.Errorf("scheme %s is not applicable to %s (Appendix E)", s, info.Name))
+		}
+	}
+	if _, err := workload.NewDist(*wl, 2); err != nil {
+		fail(err)
+	}
+	if _, err := workload.NewSchedule(*mix, workload.MixBalanced); err != nil {
+		fail(err)
+	}
+	baseMix, err := workload.ParseMix(*opmix)
+	if err != nil {
+		fail(err)
+	}
+	var jsonFile *os.File
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fail(err)
+		}
+		jsonFile = f
+	}
+
+	cfg := bench.ServiceConfig{
+		Shards:          *shards,
+		Schemes:         schemes,
+		Structure:       *dsName,
+		WorkersPerShard: *workers,
+		Clients:         *clients,
+		OpsPerClient:    *ops,
+		Batch:           *batch,
+		KeyRange:        *keyRange,
+		Mix:             baseMix,
+		Workload:        *wl,
+		Schedule:        *mix,
+		Seed:            *seed,
+	}
+	fmt.Printf("eraserve: %d shards (%s) × %s, workload %s/%s\n",
+		*shards, strings.Join(schemes, ","), info.Name, *wl, *mix)
+	res, err := bench.RunService(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "eraserve: %v\n", err)
+		os.Exit(1)
+	}
+	bench.WriteServiceTable(os.Stdout, res)
+	if jsonFile != nil {
+		err := bench.WriteServiceReport(jsonFile, res)
+		if cerr := jsonFile.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "eraserve: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+}

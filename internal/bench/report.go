@@ -67,6 +67,50 @@ func WriteScaleTable(w io.Writer, rows []ScaleRow) {
 	}
 }
 
+// WriteServiceTable renders the sharded-service measurement: the
+// per-shard breakdown, then the aggregate line.
+func WriteServiceTable(w io.Writer, res ServiceResult) {
+	fmt.Fprintf(w, "%-6s %-11s %12s %10s %10s %12s %8s %8s %9s\n",
+		"shard", "scheme", "ops", "Mops/s", "retired", "peak-retired", "faults", "unsafe", "restarts")
+	for _, r := range res.PerShard {
+		fmt.Fprintf(w, "%-6d %-11s %12d %10.3f %10d %12d %8d %8d %9d\n",
+			r.Shard, r.Scheme, r.Ops, r.MopsPerSec, r.Retired, r.MaxRetired,
+			r.Faults, r.UnsafeAccesses, r.Restarts)
+	}
+	a := res.Aggregate
+	fmt.Fprintf(w, "aggregate: %d shards × %d workers, %d clients × batch %d, %s %s/%s mix %s\n",
+		a.Shards, a.Workers, a.Clients, a.Batch, a.Structure, a.Workload, a.Schedule, a.Mix)
+	fmt.Fprintf(w, "           %d ops in %s = %.3f Mops/s, request p50 %s p99 %s, peak-retired %d, faults %d, restarts %d\n",
+		a.Ops, a.Elapsed.Round(time.Millisecond), a.MopsPerSec,
+		fmtLatency(a.P50), fmtLatency(a.P99), a.PeakRetired, a.Faults, a.Restarts)
+}
+
+// ServiceReport is the machine-readable sharded-service artifact (the
+// BENCH_service.json file): the aggregate row plus the per-shard
+// breakdown, under the same experiment/trajectory convention as Report.
+type ServiceReport struct {
+	Experiment string            `json:"experiment"`
+	Aggregate  ServiceRow        `json:"aggregate"`
+	PerShard   []ServiceShardRow `json:"per_shard"`
+}
+
+// WriteServiceReport emits the service measurement as an indented JSON
+// benchmark artifact.
+func WriteServiceReport(w io.Writer, res ServiceResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ServiceReport{Experiment: "service", Aggregate: res.Aggregate, PerShard: res.PerShard})
+}
+
+// ReadServiceReport parses an artifact written by WriteServiceReport.
+func ReadServiceReport(r io.Reader) (ServiceReport, error) {
+	var rep ServiceReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return ServiceReport{}, fmt.Errorf("bench: malformed service artifact: %w", err)
+	}
+	return rep, nil
+}
+
 // Report is the machine-readable benchmark artifact (a BENCH_*.json file):
 // one experiment name plus its rows, so successive runs form a trajectory
 // that tooling can diff and plot.

@@ -1,0 +1,149 @@
+package bench_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/workload"
+)
+
+func sampleRows() []bench.ThroughputRow {
+	return []bench.ThroughputRow{
+		{
+			Scheme: "ebr", Structure: "harris", Threads: 4,
+			Mix: workload.MixReadHeavy, Workload: "zipfian", Schedule: "phased",
+			KeyRange: 1024, Ops: 80000, Elapsed: 125 * time.Millisecond,
+			MopsPerSec: 0.64, P50: 310 * time.Nanosecond, P99: 2150 * time.Nanosecond,
+			PeakRetired: 96, Restarts: 0,
+		},
+		{
+			Scheme: "vbr", Structure: "skiplist", Threads: 2,
+			Mix: workload.MixUpdateOnly, Workload: "uniform", Schedule: "steady",
+			KeyRange: 512, Ops: 40000, Elapsed: 90 * time.Millisecond,
+			MopsPerSec: 0.44, PeakRetired: 31, Restarts: 17,
+		},
+	}
+}
+
+// TestWriteThroughputTable checks the rendered table carries every row's
+// load-bearing fields, and that unmeasured latencies render as "-" rather
+// than a misleading zero.
+func TestWriteThroughputTable(t *testing.T) {
+	var sb strings.Builder
+	bench.WriteThroughputTable(&sb, sampleRows())
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want header + 2 rows, got %d lines:\n%s", len(lines), out)
+	}
+	for _, want := range []string{"scheme", "Mops/s", "peak-retired", "ebr", "harris", "90/5/5",
+		"zipfian/phased", "0.640", "310ns", "vbr", "skiplist"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	// The second row recorded no latency samples; its percentile cells
+	// must show the placeholder.
+	if !strings.Contains(lines[2], " - ") {
+		t.Errorf("unmeasured latency not rendered as '-': %s", lines[2])
+	}
+}
+
+// TestJSONReportRoundTripStatic checks a BENCH_*.json artifact survives
+// write → read unchanged, on hand-built rows (engine_test covers the
+// measured path).
+func TestJSONReportRoundTripStatic(t *testing.T) {
+	rows := sampleRows()
+	var sb strings.Builder
+	if err := bench.WriteJSONReport(&sb, "throughput", rows); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := bench.ReadJSONReport(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Experiment != "throughput" {
+		t.Errorf("experiment: %q", rep.Experiment)
+	}
+	if len(rep.Rows) != len(rows) {
+		t.Fatalf("rows: %d want %d", len(rep.Rows), len(rows))
+	}
+	for i := range rows {
+		if rep.Rows[i] != rows[i] {
+			t.Errorf("row %d: got %+v want %+v", i, rep.Rows[i], rows[i])
+		}
+	}
+}
+
+// TestReadJSONReportRejectsGarbage checks the artifact reader reports
+// malformed input as such.
+func TestReadJSONReportRejectsGarbage(t *testing.T) {
+	if _, err := bench.ReadJSONReport(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func sampleService() bench.ServiceResult {
+	return bench.ServiceResult{
+		Aggregate: bench.ServiceRow{
+			Shards: 2, Schemes: []string{"hp", "ebr"}, Structure: "hashmap",
+			Clients: 4, Batch: 16, Workers: 1, Mix: workload.MixBalanced,
+			Workload: "zipfian", Schedule: "steady", KeyRange: 4096,
+			Ops: 80000, Elapsed: 210 * time.Millisecond, MopsPerSec: 0.38,
+			P50: 95 * time.Microsecond, P99: 480 * time.Microsecond,
+			PeakRetired: 64, Faults: 0, Restarts: 3,
+		},
+		PerShard: []bench.ServiceShardRow{
+			{Shard: 0, Scheme: "hp", Ops: 41000, MopsPerSec: 0.195, MaxRetired: 16},
+			{Shard: 1, Scheme: "ebr", Ops: 39000, MopsPerSec: 0.185, MaxRetired: 48, Restarts: 3},
+		},
+	}
+}
+
+// TestWriteServiceTable checks the per-shard rows and the aggregate lines
+// both render.
+func TestWriteServiceTable(t *testing.T) {
+	var sb strings.Builder
+	bench.WriteServiceTable(&sb, sampleService())
+	out := sb.String()
+	for _, want := range []string{"shard", "hp", "ebr", "aggregate:", "2 shards",
+		"4 clients", "zipfian/steady", "p50 95µs", "p99 480µs", "peak-retired 64"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("service table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestServiceReportRoundTrip checks the BENCH_service.json artifact
+// survives write → read unchanged.
+func TestServiceReportRoundTrip(t *testing.T) {
+	res := sampleService()
+	var sb strings.Builder
+	if err := bench.WriteServiceReport(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := bench.ReadServiceReport(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Experiment != "service" {
+		t.Errorf("experiment: %q", rep.Experiment)
+	}
+	if !reflect.DeepEqual(rep.Aggregate, res.Aggregate) {
+		t.Errorf("aggregate: got %+v want %+v", rep.Aggregate, res.Aggregate)
+	}
+	if len(rep.PerShard) != 2 {
+		t.Fatalf("per-shard: %d", len(rep.PerShard))
+	}
+	for i := range res.PerShard {
+		if rep.PerShard[i] != res.PerShard[i] {
+			t.Errorf("shard %d: got %+v want %+v", i, rep.PerShard[i], res.PerShard[i])
+		}
+	}
+	if _, err := bench.ReadServiceReport(strings.NewReader("{")); err == nil {
+		t.Error("truncated artifact accepted")
+	}
+}

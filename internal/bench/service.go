@@ -1,0 +1,298 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/hist"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// ServiceConfig sizes the sharded-service experiment (EXP-SERVICE): M
+// closed-loop clients batching operations into a store whose shards may
+// run different reclamation schemes.
+type ServiceConfig struct {
+	// Shards is the shard count; 0 selects 4.
+	Shards int
+	// Schemes assigns reclamation schemes to shards, cycled when shorter
+	// than Shards (so ["hp","ebr"] alternates). Empty selects ["ebr"].
+	Schemes []string
+	// Structure is the per-shard set structure; empty selects "hashmap".
+	Structure string
+	// WorkersPerShard sizes each shard's worker pool; 0 selects 1.
+	WorkersPerShard int
+	// Clients is the number of closed-loop client goroutines; 0 selects
+	// 2 × Shards.
+	Clients int
+	// OpsPerClient is the measured operation count per client; 0 selects
+	// 20000.
+	OpsPerClient int
+	// WarmupOpsPerClient is the untimed warmup: 0 selects
+	// OpsPerClient/10, negative disables.
+	WarmupOpsPerClient int
+	// Batch is how many operations a client packs into one service
+	// request; 0 selects 16.
+	Batch int
+	// KeyRange is the key universe; 0 selects 4096.
+	KeyRange int
+	// Mix is the base operation mix; zero selects MixBalanced.
+	Mix Mix
+	// Workload and Schedule name the key distribution and op-mix schedule
+	// (workload registries); empty selects uniform/steady.
+	Workload string
+	Schedule string
+	// Seed makes every client stream deterministic.
+	Seed uint64
+}
+
+func (cfg *ServiceConfig) fill() {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4
+	}
+	if len(cfg.Schemes) == 0 {
+		cfg.Schemes = []string{"ebr"}
+	}
+	if cfg.Structure == "" {
+		cfg.Structure = "hashmap"
+	}
+	if cfg.WorkersPerShard <= 0 {
+		cfg.WorkersPerShard = 1
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 2 * cfg.Shards
+	}
+	if cfg.OpsPerClient <= 0 {
+		cfg.OpsPerClient = 20000
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 16
+	}
+	if cfg.KeyRange <= 0 {
+		cfg.KeyRange = 4096
+	}
+	if cfg.Mix == (Mix{}) {
+		cfg.Mix = MixBalanced
+	}
+}
+
+// ServiceShardRow is one shard's slice of the service measurement. Ops
+// and MopsPerSec cover the timed phase only; the backlog and fault
+// counters are cumulative over the shard's lifetime (prefill and warmup
+// included — backlog carries across phases).
+type ServiceShardRow struct {
+	Shard          int     `json:"shard"`
+	Scheme         string  `json:"scheme"`
+	Ops            uint64  `json:"ops"`
+	MopsPerSec     float64 `json:"mops_per_sec"`
+	Retired        uint64  `json:"retired"`
+	MaxRetired     uint64  `json:"max_retired"`
+	Faults         uint64  `json:"faults"`
+	UnsafeAccesses uint64  `json:"unsafe_accesses"`
+	Restarts       uint64  `json:"restarts"`
+}
+
+// ServiceRow is the aggregate service measurement. P50/P99 are
+// *service-request* latencies — one batched Do as seen by a client,
+// queueing included — which is what a service's tail means.
+type ServiceRow struct {
+	Shards     int           `json:"shards"`
+	Schemes    []string      `json:"schemes"`
+	Structure  string        `json:"structure"`
+	Clients    int           `json:"clients"`
+	Batch      int           `json:"batch"`
+	Workers    int           `json:"workers_per_shard"`
+	Mix        Mix           `json:"mix"`
+	Workload   string        `json:"workload"`
+	Schedule   string        `json:"schedule"`
+	KeyRange   int           `json:"key_range"`
+	Ops        int           `json:"ops"`
+	Elapsed    time.Duration `json:"elapsed_ns"`
+	MopsPerSec float64       `json:"mops_per_sec"`
+	P50        time.Duration `json:"p50_ns"`
+	P99        time.Duration `json:"p99_ns"`
+
+	PeakRetired    uint64 `json:"peak_retired"`
+	Faults         uint64 `json:"faults"`
+	UnsafeAccesses uint64 `json:"unsafe_accesses"`
+	Restarts       uint64 `json:"restarts"`
+}
+
+// ServiceResult pairs the aggregate row with the per-shard breakdown.
+type ServiceResult struct {
+	Aggregate ServiceRow        `json:"aggregate"`
+	PerShard  []ServiceShardRow `json:"per_shard"`
+}
+
+// runClients drives every client through ops operations from src,
+// batching Batch at a time. When lats is non-nil, client c records each
+// request's latency into lats[c].
+func runClients(st *store.Store, src *workload.Source, cfg ServiceConfig, ops int, lats []hist.Latency) error {
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Clients)
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			stream := src.Thread(c, ops)
+			batch := make([]store.Op, 0, cfg.Batch)
+			for done := 0; done < ops; {
+				batch = batch[:0]
+				for len(batch) < cfg.Batch && done+len(batch) < ops {
+					kind, key := stream.Next()
+					batch = append(batch, store.Op{Kind: kind, Key: key})
+				}
+				var t0 time.Time
+				if lats != nil {
+					t0 = time.Now()
+				}
+				res, err := st.Do(batch)
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				if lats != nil {
+					lats[c].Record(time.Since(t0))
+				}
+				for i, r := range res {
+					if r.Err != nil {
+						errs[c] = fmt.Errorf("%v(%d): %w", batch[i].Kind, batch[i].Key, r.Err)
+						return
+					}
+				}
+				done += len(batch)
+			}
+		}(c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunService builds the sharded store, prefills it to half the key range,
+// runs the warmup and the timed closed-loop client phase, then drains the
+// store and assembles the rows.
+func RunService(cfg ServiceConfig) (ServiceResult, error) {
+	cfg.fill()
+	specs := make([]store.ShardSpec, cfg.Shards)
+	for i := range specs {
+		specs[i] = store.ShardSpec{
+			Scheme:    cfg.Schemes[i%len(cfg.Schemes)],
+			Structure: cfg.Structure,
+			Workers:   cfg.WorkersPerShard,
+		}
+	}
+	st, err := store.New(store.Config{Shards: specs, KeyRange: cfg.KeyRange})
+	if err != nil {
+		return ServiceResult{}, err
+	}
+	defer st.Close()
+	src, err := workload.New(workload.Config{
+		Dist:     cfg.Workload,
+		Schedule: cfg.Schedule,
+		KeyRange: cfg.KeyRange,
+		Mix:      cfg.Mix,
+		Seed:     cfg.Seed,
+	})
+	if err != nil {
+		return ServiceResult{}, err
+	}
+
+	// Prefill to half occupancy so contains() hits about half the time,
+	// batched through the service like any other traffic.
+	pre := workload.RNG(cfg.Seed ^ 0xf00d)
+	batch := make([]store.Op, 0, cfg.Batch)
+	for i := 0; i < cfg.KeyRange/2; i++ {
+		batch = append(batch, store.Op{Kind: workload.OpInsert, Key: int64(pre.Next() % uint64(cfg.KeyRange))})
+		if len(batch) == cfg.Batch || i == cfg.KeyRange/2-1 {
+			res, err := st.Do(batch)
+			if err != nil {
+				return ServiceResult{}, err
+			}
+			for _, r := range res {
+				if r.Err != nil {
+					return ServiceResult{}, r.Err
+				}
+			}
+			batch = batch[:0]
+		}
+	}
+
+	warmup := cfg.WarmupOpsPerClient
+	switch {
+	case warmup < 0:
+		warmup = 0
+	case warmup == 0:
+		warmup = cfg.OpsPerClient / 10
+	}
+	if warmup > 0 {
+		if err := runClients(st, src.Steady(cfg.Seed^0xbadcafe), cfg, warmup, nil); err != nil {
+			return ServiceResult{}, err
+		}
+	}
+
+	before := st.Stats()
+	lats := make([]hist.Latency, cfg.Clients)
+	start := time.Now()
+	if err := runClients(st, src, cfg, cfg.OpsPerClient, lats); err != nil {
+		return ServiceResult{}, err
+	}
+	elapsed := time.Since(start)
+
+	// Drain before the final read so Retired reflects the settled
+	// backlog, then build rows from the post-close counters.
+	if err := st.Close(); err != nil {
+		return ServiceResult{}, err
+	}
+	after := st.Stats()
+
+	var lat hist.Latency
+	for i := range lats {
+		lat.Merge(&lats[i])
+	}
+	srcCfg := src.Config()
+	ops := cfg.Clients * cfg.OpsPerClient
+	agg := ServiceRow{
+		Shards:     cfg.Shards,
+		Schemes:    cfg.Schemes,
+		Structure:  cfg.Structure,
+		Clients:    cfg.Clients,
+		Batch:      cfg.Batch,
+		Workers:    cfg.WorkersPerShard,
+		Mix:        srcCfg.Mix,
+		Workload:   srcCfg.Dist,
+		Schedule:   srcCfg.Schedule,
+		KeyRange:   cfg.KeyRange,
+		Ops:        ops,
+		Elapsed:    elapsed,
+		MopsPerSec: float64(ops) / elapsed.Seconds() / 1e6,
+		P50:        lat.Percentile(0.50),
+		P99:        lat.Percentile(0.99),
+
+		PeakRetired:    after.MaxRetired,
+		Faults:         after.Faults,
+		UnsafeAccesses: after.UnsafeAccesses,
+		Restarts:       after.Restarts,
+	}
+	rows := make([]ServiceShardRow, cfg.Shards)
+	for i, sh := range after.Shards {
+		measured := sh.Ops - before.Shards[i].Ops
+		rows[i] = ServiceShardRow{
+			Shard:          sh.Shard,
+			Scheme:         sh.Scheme,
+			Ops:            measured,
+			MopsPerSec:     float64(measured) / elapsed.Seconds() / 1e6,
+			Retired:        sh.Retired,
+			MaxRetired:     sh.MaxRetired,
+			Faults:         sh.Faults,
+			UnsafeAccesses: sh.UnsafeAccesses,
+			Restarts:       sh.Restarts,
+		}
+	}
+	return ServiceResult{Aggregate: agg, PerShard: rows}, nil
+}

@@ -1,0 +1,62 @@
+package bench_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// TestRunServiceHeterogeneous runs a small sharded-service experiment
+// with HP and EBR alternating across shards and checks the measurement
+// accounting: every client op is counted exactly once, rates and
+// latencies are populated, and no shard observed a safety event.
+func TestRunServiceHeterogeneous(t *testing.T) {
+	res, err := bench.RunService(bench.ServiceConfig{
+		Shards:       4,
+		Schemes:      []string{"hp", "ebr"},
+		Structure:    "hashmap",
+		Clients:      4,
+		OpsPerClient: 800,
+		Batch:        8,
+		KeyRange:     512,
+		Workload:     "zipfian",
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Aggregate
+	if a.Ops != 4*800 {
+		t.Fatalf("ops: %d", a.Ops)
+	}
+	if a.MopsPerSec <= 0 || a.Elapsed <= 0 {
+		t.Fatalf("rate: %v over %v", a.MopsPerSec, a.Elapsed)
+	}
+	if a.P50 == 0 || a.P99 == 0 || a.P99 < a.P50 {
+		t.Fatalf("latency: p50=%v p99=%v", a.P50, a.P99)
+	}
+	if len(res.PerShard) != 4 {
+		t.Fatalf("per-shard rows: %d", len(res.PerShard))
+	}
+	var shardOps uint64
+	for i, r := range res.PerShard {
+		want := []string{"hp", "ebr"}[i%2]
+		if r.Scheme != want {
+			t.Fatalf("shard %d scheme %s, want %s", i, r.Scheme, want)
+		}
+		if r.Faults != 0 || r.UnsafeAccesses != 0 {
+			t.Fatalf("shard %d: faults=%d unsafe=%d", i, r.Faults, r.UnsafeAccesses)
+		}
+		shardOps += r.Ops
+	}
+	if shardOps != uint64(a.Ops) {
+		t.Fatalf("shard ops sum %d != aggregate %d", shardOps, a.Ops)
+	}
+}
+
+// TestRunServiceRejectsBadScheme checks constructor errors surface.
+func TestRunServiceRejectsBadScheme(t *testing.T) {
+	if _, err := bench.RunService(bench.ServiceConfig{Schemes: []string{"nope"}}); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}

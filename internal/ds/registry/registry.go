@@ -96,6 +96,12 @@ var infos = map[string]Info{
 	},
 }
 
+// aliases maps convenience names to registry entries. "hashmap" selects
+// the HP-compatible variant so the widest scheme set applies.
+var aliases = map[string]string{
+	"hashmap": "hashmap-michael",
+}
+
 // Names returns every registered structure name, sorted.
 func Names() []string {
 	names := make([]string, 0, len(infos))
@@ -117,8 +123,12 @@ func SetNames() []string {
 	return names
 }
 
-// Get returns the named structure's Info.
+// Get returns the named structure's Info. Aliases resolve to their
+// target entry (the returned Info carries the canonical name).
 func Get(name string) (Info, error) {
+	if target, ok := aliases[name]; ok {
+		name = target
+	}
 	in, ok := infos[name]
 	if !ok {
 		return Info{}, fmt.Errorf("registry: unknown structure %q (have %v)", name, Names())

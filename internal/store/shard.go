@@ -1,0 +1,120 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ds"
+	"repro/internal/mem"
+	"repro/internal/smr"
+	"repro/internal/workload"
+)
+
+// request is one shard's slice of a client batch. The worker writes each
+// operation's outcome straight into the caller's result slice at the
+// caller's positions; the WaitGroup hand-off orders those writes before
+// the caller reads them.
+type request struct {
+	ops []Op
+	res []Result
+	idx []int
+	wg  *sync.WaitGroup
+}
+
+// opStripe is one worker's share of the shard's service counters, padded
+// to a cache line so neighbouring workers never share (the mem.Stats
+// treatment applied one layer up).
+type opStripe struct {
+	ops  atomic.Uint64 // operations completed
+	hits atomic.Uint64 // operations returning true
+	errs atomic.Uint64 // operations returning an error
+	_    [40]byte
+}
+
+// shard is one service partition: a private heap, a private SMR domain,
+// one structure instance, and the workers that execute on them.
+type shard struct {
+	id     int
+	spec   ShardSpec // resolved: Workers/Slots defaults filled in
+	arena  *mem.Arena
+	scheme smr.Scheme
+	set    ds.Set
+
+	reqs chan *request
+	wg   sync.WaitGroup
+	// closed is guarded by the store's mu.
+	closed bool
+
+	stripes []opStripe
+}
+
+// worker executes requests with scheme thread id tid. The tid doubles as
+// the stripe index, so the hot counters never contend.
+func (sh *shard) worker(tid int) {
+	defer sh.wg.Done()
+	stripe := &sh.stripes[tid]
+	for req := range sh.reqs {
+		for i, op := range req.ops {
+			var ok bool
+			var err error
+			switch op.Kind {
+			case workload.OpContains:
+				ok, err = sh.set.Contains(tid, op.Key)
+			case workload.OpInsert:
+				ok, err = sh.set.Insert(tid, op.Key)
+			case workload.OpDelete:
+				ok, err = sh.set.Delete(tid, op.Key)
+			default:
+				err = fmt.Errorf("store: invalid op kind %d", op.Kind)
+			}
+			req.res[req.idx[i]] = Result{OK: ok, Err: err}
+			stripe.ops.Add(1)
+			if ok {
+				stripe.hits.Add(1)
+			}
+			if err != nil {
+				stripe.errs.Add(1)
+			}
+		}
+		req.wg.Done()
+	}
+}
+
+// drain flushes every worker's retire list a few rounds after the workers
+// have exited, letting epoch-style schemes advance past the last
+// operations and reclaim the settled backlog.
+func (sh *shard) drain() {
+	for round := 0; round < 3; round++ {
+		for tid := 0; tid < sh.spec.Workers; tid++ {
+			sh.scheme.Flush(tid)
+		}
+	}
+}
+
+// stats aggregates the shard's striped service counters with its arena
+// and scheme counters.
+func (sh *shard) stats() ShardStats {
+	s := ShardStats{
+		Shard:     sh.id,
+		Scheme:    sh.scheme.Name(),
+		Structure: sh.set.Name(),
+		Workers:   sh.spec.Workers,
+	}
+	for i := range sh.stripes {
+		st := &sh.stripes[i]
+		s.Ops += st.ops.Load()
+		s.Hits += st.hits.Load()
+		s.Errs += st.errs.Load()
+	}
+	a := sh.arena.Stats().Snapshot()
+	s.Retired = a.Retired
+	s.MaxRetired = a.MaxRetired
+	s.Faults = a.Faults
+	s.UnsafeAccesses = a.UnsafeAccesses()
+	s.Violations = a.Violations
+	sc := sh.scheme.Stats().Snapshot()
+	s.Restarts = sc.Restarts
+	s.StaleUses = sc.StaleUses
+	return s
+}

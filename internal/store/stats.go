@@ -1,0 +1,72 @@
+package store
+
+// ShardStats is one shard's service-level counters: the striped op
+// counters aggregated on read, plus the shard's heap and scheme counters.
+// Ops/Hits/Errs are cumulative over the shard's lifetime; rate reporting
+// belongs to the driver, which differences snapshots around its timed
+// window.
+type ShardStats struct {
+	Shard     int    `json:"shard"`
+	Scheme    string `json:"scheme"`
+	Structure string `json:"structure"`
+	Workers   int    `json:"workers"`
+
+	// Service counters (striped per worker, summed here).
+	Ops  uint64 `json:"ops"`
+	Hits uint64 `json:"hits"`
+	Errs uint64 `json:"errs"`
+
+	// Heap counters: the retired backlog is the robustness observable,
+	// the fault/unsafe counters the safety observable.
+	Retired        uint64 `json:"retired"`
+	MaxRetired     uint64 `json:"max_retired"`
+	Faults         uint64 `json:"faults"`
+	UnsafeAccesses uint64 `json:"unsafe_accesses"`
+	Violations     uint64 `json:"violations"`
+
+	// Scheme counters.
+	Restarts  uint64 `json:"restarts"`
+	StaleUses uint64 `json:"stale_uses"`
+}
+
+// Stats is the service-level view: every shard's counters plus their
+// aggregate. Like mem.Stats, nothing is maintained centrally — the
+// aggregate is computed on read from the per-worker stripes, so the
+// serving path never touches shared counters.
+type Stats struct {
+	Shards []ShardStats `json:"shards"`
+
+	Ops            uint64 `json:"ops"`
+	Hits           uint64 `json:"hits"`
+	Errs           uint64 `json:"errs"`
+	Retired        uint64 `json:"retired"`
+	MaxRetired     uint64 `json:"max_retired"`
+	Faults         uint64 `json:"faults"`
+	UnsafeAccesses uint64 `json:"unsafe_accesses"`
+	Violations     uint64 `json:"violations"`
+	Restarts       uint64 `json:"restarts"`
+	StaleUses      uint64 `json:"stale_uses"`
+}
+
+// Stats aggregates every shard's counters on read. Safe to call while
+// the store serves; counters are individually atomic, so the snapshot has
+// the usual mid-run slack and is exact at quiescence.
+func (st *Store) Stats() Stats {
+	var s Stats
+	s.Shards = make([]ShardStats, 0, len(st.shards))
+	for _, sh := range st.shards {
+		ss := sh.stats()
+		s.Shards = append(s.Shards, ss)
+		s.Ops += ss.Ops
+		s.Hits += ss.Hits
+		s.Errs += ss.Errs
+		s.Retired += ss.Retired
+		s.MaxRetired += ss.MaxRetired
+		s.Faults += ss.Faults
+		s.UnsafeAccesses += ss.UnsafeAccesses
+		s.Violations += ss.Violations
+		s.Restarts += ss.Restarts
+		s.StaleUses += ss.StaleUses
+	}
+	return s
+}

@@ -1,0 +1,335 @@
+// Package store composes the repository's lock-free structures and
+// reclamation schemes into a sharded multi-tenant key-value service — the
+// deployment shape the ERA theorem's trade-off is actually about. A Store
+// hashes keys across N shards; each shard owns its *own* simulated heap,
+// its own registry-selected data structure, and its own SMR domain, so
+// scheme choice becomes a per-shard deployment decision: hazard pointers
+// on the hot shards where robustness pays, epochs on the cold ones where
+// ease of integration and raw throughput win.
+//
+// Clients talk to the store through batched requests (Do): a batch is
+// split per shard and each sub-batch travels as one message to the
+// shard's worker goroutines, which execute the operations with their own
+// scheme thread ids. Per-shard isolation means a stalled or faulting
+// shard cannot corrupt — or even delay reclamation on — its neighbours.
+//
+// Shards drain gracefully: CloseShard (and Close) stop new submissions,
+// let every queued batch complete, then flush the shard's retire lists so
+// the backlog settles before the final stats are read.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/ds"
+	"repro/internal/ds/registry"
+	"repro/internal/mem"
+	"repro/internal/smr"
+	"repro/internal/smr/all"
+	"repro/internal/workload"
+)
+
+// Errors reported by submission paths.
+var (
+	// ErrClosed reports a submission to a closed store.
+	ErrClosed = errors.New("store: closed")
+	// ErrShardClosed reports an operation routed to a drained shard.
+	ErrShardClosed = errors.New("store: shard closed")
+)
+
+// ShardSpec configures one shard: which reclamation scheme guards it,
+// which structure it serves, and how much capacity it gets. Distinct
+// shards may use distinct schemes — that heterogeneity is the point.
+type ShardSpec struct {
+	// Scheme is the reclamation scheme name ("ebr", "hp", ...), resolved
+	// through smr/all. The scheme instance and its domain (retire lists,
+	// epochs, hazard slots) are private to the shard.
+	Scheme string
+	// Structure is the set structure name, resolved through ds/registry
+	// ("hashmap" is an alias for the HP-compatible hashmap-michael).
+	Structure string
+	// Workers is the number of worker goroutines (= scheme threads)
+	// serving the shard; 0 selects 1.
+	Workers int
+	// Threshold is the scheme's retire-list scan threshold; 0 selects the
+	// scheme default.
+	Threshold int
+	// Slots sizes the shard's heap; 0 derives a default from the store's
+	// key range. Leaky schemes ("none") need an explicit size.
+	Slots int
+}
+
+// Config assembles a store.
+type Config struct {
+	// Shards holds one spec per shard; Uniform builds the homogeneous
+	// case. Must be non-empty.
+	Shards []ShardSpec
+	// KeyRange is the key universe [0, KeyRange) the store is expected to
+	// serve; it sizes the default per-shard heap. 0 selects 1024.
+	KeyRange int
+	// QueueDepth is the per-shard request-queue capacity (how many
+	// batches may wait on a busy shard before submitters block). 0
+	// selects 64.
+	QueueDepth int
+}
+
+// Uniform returns n copies of spec — the homogeneous deployment.
+func Uniform(n int, spec ShardSpec) []ShardSpec {
+	specs := make([]ShardSpec, n)
+	for i := range specs {
+		specs[i] = spec
+	}
+	return specs
+}
+
+// Op is one key-value service operation. The operation vocabulary is the
+// set ADT's, shared with the workload generator so benchmark streams feed
+// straight into batches.
+type Op struct {
+	Kind workload.Op
+	Key  int64
+}
+
+// Result is one operation's outcome: OK is the set-operation result
+// (present / inserted / removed) and Err any heap or routing error.
+type Result struct {
+	OK  bool
+	Err error
+}
+
+// Store is the sharded service frontend. All methods are safe for
+// concurrent use.
+type Store struct {
+	shards   []*shard
+	keyRange int
+
+	// mu orders submissions against shard/store close: submitters hold it
+	// shared while checking closed flags and enqueueing, closers hold it
+	// exclusively while flipping the flags.
+	mu     sync.RWMutex
+	closed bool
+}
+
+// New builds the store and starts every shard's workers. Scheme ×
+// structure pairs the paper classifies as inapplicable (Appendix E) are
+// rejected up front.
+func New(cfg Config) (*Store, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("store: config needs at least one shard")
+	}
+	if cfg.KeyRange <= 0 {
+		cfg.KeyRange = 1024
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	st := &Store{keyRange: cfg.KeyRange}
+	for i, spec := range cfg.Shards {
+		sh, err := newShard(i, spec, cfg)
+		if err != nil {
+			st.stop()
+			return nil, fmt.Errorf("store: shard %d: %w", i, err)
+		}
+		st.shards = append(st.shards, sh)
+	}
+	return st, nil
+}
+
+// newShard resolves the spec and starts the shard's workers.
+func newShard(id int, spec ShardSpec, cfg Config) (*shard, error) {
+	info, err := registry.Get(spec.Structure)
+	if err != nil {
+		return nil, err
+	}
+	if info.Kind != registry.KindSet {
+		return nil, fmt.Errorf("store serves set structures, %s is a %v", spec.Structure, info.Kind)
+	}
+	if !registry.Applicable(spec.Scheme, info.Name) {
+		return nil, fmt.Errorf("scheme %s is not applicable to %s (Appendix E)", spec.Scheme, info.Name)
+	}
+	if spec.Workers <= 0 {
+		spec.Workers = 1
+	}
+	if spec.Slots <= 0 {
+		// A shard holds its hash slice of the key range (~KeyRange/N for
+		// a mixed hash) plus the transient retired backlog; 2× the slice
+		// plus fixed headroom covers sentinels, imbalance and backlog for
+		// every reclaiming scheme.
+		spec.Slots = 2*cfg.KeyRange/len(cfg.Shards) + 4096 + 64*spec.Workers
+	}
+	a := mem.NewArena(mem.Config{
+		Slots:        spec.Slots,
+		PayloadWords: info.PayloadWords,
+		MetaWords:    smr.MetaWords,
+		Threads:      spec.Workers,
+		Mode:         mem.Reuse,
+	})
+	s, err := all.New(spec.Scheme, a, spec.Workers, spec.Threshold)
+	if err != nil {
+		return nil, err
+	}
+	set, err := info.NewSet(s, ds.Options{})
+	if err != nil {
+		return nil, err
+	}
+	sh := &shard{
+		id:      id,
+		spec:    spec,
+		arena:   a,
+		scheme:  s,
+		set:     set,
+		reqs:    make(chan *request, cfg.QueueDepth),
+		stripes: make([]opStripe, spec.Workers),
+	}
+	for w := 0; w < spec.Workers; w++ {
+		sh.wg.Add(1)
+		go sh.worker(w)
+	}
+	return sh, nil
+}
+
+// Shards returns the shard count.
+func (st *Store) Shards() int { return len(st.shards) }
+
+// ShardFor returns the shard index serving key.
+func (st *Store) ShardFor(key int64) int { return st.shardOf(key) }
+
+// mix64 is the Murmur3 finalizer: it spreads adjacent (and zipfian-hot)
+// keys across shards so the shard index exercises every bit of the key.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+func (st *Store) shardOf(key int64) int {
+	return int(mix64(uint64(key)) % uint64(len(st.shards)))
+}
+
+// Do executes a batch: operations are grouped per shard, each group is
+// submitted as one message, and the call returns once every shard has
+// filled in its results (res[i] answers ops[i]). Operations routed to a
+// drained shard report ErrShardClosed in their individual Result; a fully
+// closed store fails the whole call with ErrClosed.
+func (st *Store) Do(ops []Op) ([]Result, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	res := make([]Result, len(ops))
+	perOps := make([][]Op, len(st.shards))
+	perIdx := make([][]int, len(st.shards))
+	for i, op := range ops {
+		s := st.shardOf(op.Key)
+		perOps[s] = append(perOps[s], op)
+		perIdx[s] = append(perIdx[s], i)
+	}
+	var wg sync.WaitGroup
+	st.mu.RLock()
+	if st.closed {
+		st.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	for s, group := range perOps {
+		if len(group) == 0 {
+			continue
+		}
+		sh := st.shards[s]
+		if sh.closed {
+			for _, i := range perIdx[s] {
+				res[i] = Result{Err: ErrShardClosed}
+			}
+			continue
+		}
+		wg.Add(1)
+		sh.reqs <- &request{ops: group, res: res, idx: perIdx[s], wg: &wg}
+	}
+	st.mu.RUnlock()
+	wg.Wait()
+	return res, nil
+}
+
+// do1 runs a single operation through the batch path.
+func (st *Store) do1(kind workload.Op, key int64) (bool, error) {
+	res, err := st.Do([]Op{{Kind: kind, Key: key}})
+	if err != nil {
+		return false, err
+	}
+	return res[0].OK, res[0].Err
+}
+
+// Contains reports membership of key.
+func (st *Store) Contains(key int64) (bool, error) { return st.do1(workload.OpContains, key) }
+
+// Insert adds key; false if already present.
+func (st *Store) Insert(key int64) (bool, error) { return st.do1(workload.OpInsert, key) }
+
+// Delete removes key; false if absent.
+func (st *Store) Delete(key int64) (bool, error) { return st.do1(workload.OpDelete, key) }
+
+// CloseShard drains one shard: new operations routed to it start failing
+// with ErrShardClosed, every batch already queued completes, and the
+// shard's retire lists are flushed so its backlog settles. The rest of
+// the store keeps serving.
+func (st *Store) CloseShard(s int) error {
+	if s < 0 || s >= len(st.shards) {
+		return fmt.Errorf("store: no shard %d", s)
+	}
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return ErrClosed
+	}
+	sh := st.shards[s]
+	if sh.closed {
+		st.mu.Unlock()
+		return ErrShardClosed
+	}
+	sh.closed = true
+	st.mu.Unlock()
+	// No submitter can reach the queue anymore (they re-check the flag
+	// under mu), so closing lets the workers drain what's left and exit.
+	close(sh.reqs)
+	sh.wg.Wait()
+	sh.drain()
+	return nil
+}
+
+// Close drains every shard and shuts the store down. Batches accepted
+// before Close complete; later submissions fail with ErrClosed.
+func (st *Store) Close() error {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return ErrClosed
+	}
+	st.closed = true
+	var open []*shard
+	for _, sh := range st.shards {
+		if !sh.closed {
+			sh.closed = true
+			open = append(open, sh)
+		}
+	}
+	st.mu.Unlock()
+	for _, sh := range open {
+		close(sh.reqs)
+	}
+	for _, sh := range open {
+		sh.wg.Wait()
+		sh.drain()
+	}
+	return nil
+}
+
+// stop tears down partially constructed shards on a New failure.
+func (st *Store) stop() {
+	for _, sh := range st.shards {
+		close(sh.reqs)
+		sh.wg.Wait()
+	}
+}

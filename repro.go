@@ -37,6 +37,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/smr"
 	"repro/internal/smr/all"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -147,6 +148,56 @@ func RunThroughput(scheme, structure string, cfg BenchConfig) (BenchRow, error) 
 // artifact format (BENCH_*.json).
 func WriteBenchArtifact(w io.Writer, experiment string, rows []BenchRow) error {
 	return bench.WriteJSONReport(w, experiment, rows)
+}
+
+// Store is the sharded multi-tenant key-value service: keys hash across
+// shards, each shard owning its own heap, data structure, and SMR domain,
+// so reclamation-scheme choice is a per-shard deployment decision (see
+// internal/store).
+type Store = store.Store
+
+// StoreConfig assembles a Store.
+type StoreConfig = store.Config
+
+// StoreShardSpec configures one shard (scheme, structure, workers).
+type StoreShardSpec = store.ShardSpec
+
+// StoreOp is one batched service operation; StoreResult its outcome.
+type StoreOp = store.Op
+
+// StoreResult is one service operation's outcome.
+type StoreResult = store.Result
+
+// StoreStats is the aggregated service-level counter view.
+type StoreStats = store.Stats
+
+// Submission errors of the service layer.
+var (
+	ErrStoreClosed = store.ErrClosed
+	ErrShardClosed = store.ErrShardClosed
+)
+
+// NewStore builds the sharded service and starts its shard workers.
+func NewStore(cfg StoreConfig) (*Store, error) { return store.New(cfg) }
+
+// UniformShards builds the homogeneous n-shard spec list.
+func UniformShards(n int, spec StoreShardSpec) []StoreShardSpec { return store.Uniform(n, spec) }
+
+// ServiceConfig sizes the closed-loop sharded-service experiment.
+type ServiceConfig = bench.ServiceConfig
+
+// ServiceResult is the service measurement: aggregate row plus per-shard
+// breakdown.
+type ServiceResult = bench.ServiceResult
+
+// RunService drives the sharded store with a closed-loop client fleet
+// (the eraserve command is a thin wrapper over this).
+func RunService(cfg ServiceConfig) (ServiceResult, error) { return bench.RunService(cfg) }
+
+// WriteServiceArtifact emits the service measurement as the
+// machine-readable BENCH_service.json artifact format.
+func WriteServiceArtifact(w io.Writer, res ServiceResult) error {
+	return bench.WriteServiceReport(w, res)
 }
 
 // ERAMatrix is the assembled two-of-three matrix.

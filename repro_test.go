@@ -109,3 +109,53 @@ func TestFacadeExperiments(t *testing.T) {
 		t.Errorf("report:\n%s", sb.String())
 	}
 }
+
+// TestFacadeStore exercises the sharded service surface: a heterogeneous
+// two-shard store through the facade, then a miniature service run with
+// its JSON artifact.
+func TestFacadeStore(t *testing.T) {
+	st, err := repro.NewStore(repro.StoreConfig{
+		Shards: []repro.StoreShardSpec{
+			{Scheme: "hp", Structure: "hashmap"},
+			{Scheme: "ebr", Structure: "hashmap"},
+		},
+		KeyRange: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := st.Insert(7); err != nil || !ok {
+		t.Fatalf("insert: %v, %v", ok, err)
+	}
+	if ok, err := st.Contains(7); err != nil || !ok {
+		t.Fatalf("contains: %v, %v", ok, err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	stats := st.Stats()
+	if stats.Ops != 2 || stats.Faults != 0 {
+		t.Fatalf("stats: ops=%d faults=%d", stats.Ops, stats.Faults)
+	}
+	if _, err := st.Delete(7); err != repro.ErrStoreClosed {
+		t.Fatalf("post-close delete: %v", err)
+	}
+
+	res, err := repro.RunService(repro.ServiceConfig{
+		Shards: 2, Schemes: []string{"hp", "ebr"}, Clients: 2,
+		OpsPerClient: 200, KeyRange: 128, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aggregate.Ops != 400 || len(res.PerShard) != 2 {
+		t.Fatalf("service: ops=%d shards=%d", res.Aggregate.Ops, len(res.PerShard))
+	}
+	var sb strings.Builder
+	if err := repro.WriteServiceArtifact(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"experiment": "service"`) {
+		t.Errorf("artifact:\n%s", sb.String())
+	}
+}
