@@ -7,13 +7,15 @@
 //	erabench -exp throughput   # EXP-THRU:    scheme × mix × threads sweep
 //	erabench -exp michael      # EXP-MICHAEL: Harris+EBR vs Michael+HP
 //	erabench -exp service      # EXP-SERVICE: sharded store, per-shard SMR
+//	erabench -exp chaos        # EXP-CHAOS:   live robustness audit (erachaos)
 //	erabench -exp all          # everything
 //
 // The throughput experiments are workload-driven: -workload names the key
 // distribution (uniform, zipfian, hotset, shifting) and -mix the op-mix
 // schedule (steady, phased, oversub), both resolved through the
-// internal/workload registries. -json writes the measured rows as a
-// machine-readable benchmark artifact:
+// internal/workload registries. -seed fixes every stream, so two runs
+// with equal flags replay identical operation sequences. -json writes the
+// measured rows as a machine-readable benchmark artifact:
 //
 //	erabench -exp throughput -workload zipfian -mix phased -json BENCH_throughput.json
 package main
@@ -32,11 +34,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: matrix|space|scale|stall|throughput|structures|michael|service|all")
+	exp := flag.String("exp", "all", "experiment: matrix|space|scale|stall|throughput|structures|michael|service|chaos|all")
 	shards := flag.Int("shards", 4, "shard count for the service experiment")
 	k := flag.Int("k", 800, "churn length for space/matrix experiments")
 	ops := flag.Int("ops", 20000, "operations per thread for throughput experiments")
 	keyRange := flag.Int("keyrange", 1024, "key universe for throughput experiments")
+	seed := flag.Uint64("seed", 42, "workload seed: runs with equal seeds draw identical operation streams")
 	structure := flag.String("structure", "harris", "set structure for the throughput sweep")
 	wl := flag.String("workload", "uniform",
 		fmt.Sprintf("key distribution for throughput experiments %v", workload.DistNames()))
@@ -45,7 +48,7 @@ func main() {
 	jsonPath := flag.String("json", "", "write throughput rows as a JSON benchmark artifact to this path")
 	flag.Parse()
 
-	exps := []string{"matrix", "space", "scale", "stall", "throughput", "structures", "michael", "service", "all"}
+	exps := []string{"matrix", "space", "scale", "stall", "throughput", "structures", "michael", "service", "chaos", "all"}
 	known := false
 	for _, e := range exps {
 		known = known || e == *exp
@@ -177,7 +180,7 @@ func main() {
 				[]bench.Mix{bench.MixReadHeavy, bench.MixBalanced, bench.MixUpdateOnly},
 				[]int{1, 2, 4},
 				bench.ThroughputConfig{
-					OpsPerThread: *ops, KeyRange: *keyRange, Seed: 42,
+					OpsPerThread: *ops, KeyRange: *keyRange, Seed: *seed,
 					Workload: *wl, Schedule: *mix,
 				})
 			artifact = append(artifact, rows...)
@@ -190,7 +193,10 @@ func main() {
 	}
 	if want("structures") {
 		run("EXP-EXT: stalled traversal across structures (§6 open question)", func() error {
-			for _, structure := range []string{"harris", "skiplist", "nmtree"} {
+			// The structure list comes from the registry (sorted, so the
+			// table orders stably across runs), restricted to the
+			// traversal structures the stall script can target.
+			for _, structure := range registry.TraversalSetNames() {
 				fmt.Printf("-- %s --\n", structure)
 				for _, scheme := range all.SafeNames() {
 					o, err := adversary.StallTraversal(scheme, structure, *k, mem.Unmap)
@@ -217,7 +223,7 @@ func main() {
 				KeyRange:     *keyRange,
 				Workload:     *wl,
 				Schedule:     *mix,
-				Seed:         42,
+				Seed:         *seed,
 			})
 			if err != nil {
 				return err
@@ -226,10 +232,24 @@ func main() {
 			return nil
 		})
 	}
+	if want("chaos") {
+		run("EXP-CHAOS: live robustness audit under stall injection (ebr/ibr/hp)", func() error {
+			// The canned audit: one shard per robustness class, a stall in
+			// each, verdicts from the faulted telemetry. erachaos exposes
+			// the full fault/schedule surface and owns the
+			// BENCH_chaos.json artifact.
+			res, err := bench.RunChaos(bench.ChaosConfig{Seed: *seed})
+			if err != nil {
+				return err
+			}
+			bench.WriteChaosTable(os.Stdout, res)
+			return nil
+		})
+	}
 	if want("michael") {
 		run("EXP-MICHAEL: Harris+EBR vs Michael+HP (delete-heavy)", func() error {
 			rows, err := bench.MichaelComparison(bench.ThroughputConfig{
-				Threads: 2, OpsPerThread: *ops, KeyRange: *keyRange, Seed: 42,
+				Threads: 2, OpsPerThread: *ops, KeyRange: *keyRange, Seed: *seed,
 				Workload: *wl, Schedule: *mix,
 			})
 			artifact = append(artifact, rows...)

@@ -1,0 +1,469 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/hist"
+	"repro/internal/sched"
+	"repro/internal/smr/all"
+	"repro/internal/store"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// ChaosConfig sizes the chaos experiment (EXP-CHAOS): a sharded store
+// with one shard per scheme under audit, closed-loop client traffic for a
+// fixed wall-clock window, scheduled fault injection, and a telemetry
+// sampler whose series are fitted into per-scheme robustness verdicts.
+//
+// The run is duration-boxed, not op-boxed: a client whose batch lands on
+// a stalled worker blocks until the fault heals (that is the fault
+// working), so "run until every client did N ops" could never terminate.
+type ChaosConfig struct {
+	// Schemes get one shard each, in order; the default trio spans the
+	// three robustness classes (ebr not-robust, ibr weakly-robust, hp
+	// robust).
+	Schemes []string
+	// Structure is the per-shard set structure; empty selects "hashmap"
+	// (HP-compatible, so the widest scheme set applies).
+	Structure string
+	// WorkersPerShard sizes each shard's pool; 0 selects one more than
+	// the number of stall-family faults (min 2) — every parking fault
+	// claims a worker and the audit needs a survivor to keep the shard's
+	// churn (and telemetry progress) alive.
+	WorkersPerShard int
+	// Clients is the closed-loop client count; 0 selects 2 × shards.
+	Clients int
+	// Batch is operations per service request; 0 selects 16.
+	Batch int
+	// KeyRange is the key universe; 0 selects 2048.
+	KeyRange int
+	// Threshold is every shard's retire-scan threshold; 0 selects 16.
+	// Fixing it (rather than per-scheme defaults) fixes the audit's
+	// bounded-backlog budget.
+	Threshold int
+	// SlotsPerShard sizes each shard heap; 0 selects a budget generous
+	// enough that only a genuinely unbounded backlog can exhaust it —
+	// and if one does, the OOM is reported as audit evidence, not a
+	// crash.
+	SlotsPerShard int
+	// Duration is the traffic window; 0 selects 400ms.
+	Duration time.Duration
+	// FaultAfter is the injection delay from traffic start; 0 selects
+	// Duration/8 (early, so most of the window is faulted — the growth
+	// fit reads the faulted tail).
+	FaultAfter time.Duration
+	// SampleInterval is the telemetry tick; 0 derives Duration/200
+	// clamped to [200µs, 5ms].
+	SampleInterval time.Duration
+	// Faults names the faults injected (chaos registry names); each is
+	// applied to every shard. Empty selects ["stall"] — the
+	// reclamation-critical stall that separates the robustness classes.
+	Faults []string
+	// Mix, Workload, Schedule name the traffic shape (workload
+	// registries); zero values select balanced/uniform/steady.
+	Mix      Mix
+	Workload string
+	Schedule string
+	// Seed makes client streams deterministic.
+	Seed uint64
+}
+
+func (cfg *ChaosConfig) fill() {
+	if len(cfg.Schemes) == 0 {
+		cfg.Schemes = []string{"ebr", "ibr", "hp"}
+	}
+	if cfg.Structure == "" {
+		cfg.Structure = "hashmap"
+	}
+	if len(cfg.Faults) == 0 {
+		cfg.Faults = []string{"stall"}
+	}
+	if cfg.WorkersPerShard <= 0 {
+		// One survivor above the stall-family fault count: every parking
+		// fault claims a worker, and the audit needs a live worker to
+		// keep the shard's churn (and telemetry progress) going.
+		parks := 0
+		for _, f := range cfg.Faults {
+			if chaos.ParksWorker(f) {
+				parks++
+			}
+		}
+		cfg.WorkersPerShard = parks + 1
+		if cfg.WorkersPerShard < 2 {
+			cfg.WorkersPerShard = 2
+		}
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 2 * len(cfg.Schemes)
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 16
+	}
+	if cfg.KeyRange <= 0 {
+		cfg.KeyRange = 2048
+	}
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 16
+	}
+	if cfg.SlotsPerShard <= 0 {
+		cfg.SlotsPerShard = 1 << 18
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 400 * time.Millisecond
+	}
+	if cfg.FaultAfter <= 0 {
+		cfg.FaultAfter = cfg.Duration / 8
+	}
+	if cfg.SampleInterval <= 0 {
+		cfg.SampleInterval = cfg.Duration / 200
+		if cfg.SampleInterval < 200*time.Microsecond {
+			cfg.SampleInterval = 200 * time.Microsecond
+		}
+		if cfg.SampleInterval > 5*time.Millisecond {
+			cfg.SampleInterval = 5 * time.Millisecond
+		}
+	}
+	if cfg.Mix == (Mix{}) {
+		cfg.Mix = MixBalanced
+	}
+}
+
+// ChaosRow is one shard's audit: the scheme's declared robustness class
+// against the class its telemetry evidences.
+type ChaosRow struct {
+	Shard    int    `json:"shard"`
+	Scheme   string `json:"scheme"`
+	Declared string `json:"declared"`
+	Audited  string `json:"audited"`
+	// Growth is the fitted backlog shape (bounded / linear-in-threads /
+	// unbounded).
+	Growth string `json:"growth"`
+	// Slope is backlog growth per shard operation over the faulted
+	// window; Plateau the window's mean backlog.
+	Slope   float64 `json:"slope"`
+	Plateau float64 `json:"plateau"`
+	// PeakRetired is the shard's whole-run backlog watermark.
+	PeakRetired uint64 `json:"peak_retired"`
+	// Ops is the shard's total served operations; OOMs its failed
+	// allocations (nonzero only when the backlog ate the heap).
+	Ops  uint64 `json:"ops"`
+	OOMs uint64 `json:"ooms"`
+	// Outcome relates audited to declared: confirmed, stronger,
+	// VIOLATED, or inconclusive.
+	Outcome string `json:"outcome"`
+	// Consistent is false exactly when Outcome is VIOLATED.
+	Consistent bool `json:"consistent"`
+	// Series is the shard's sampled backlog trajectory (the evidence).
+	Series []telemetry.Point `json:"series,omitempty"`
+}
+
+// ChaosAggregate is the run's service-level summary: what the clients
+// experienced while the faults were live.
+type ChaosAggregate struct {
+	Shards   int           `json:"shards"`
+	Schemes  []string      `json:"schemes"`
+	Faults   []string      `json:"faults"`
+	Clients  int           `json:"clients"`
+	Batch    int           `json:"batch"`
+	Workers  int           `json:"workers_per_shard"`
+	KeyRange int           `json:"key_range"`
+	Mix      Mix           `json:"mix"`
+	Workload string        `json:"workload"`
+	Schedule string        `json:"schedule"`
+	Seed     uint64        `json:"seed"`
+	Elapsed  time.Duration `json:"elapsed_ns"`
+	Ops      uint64        `json:"ops"`
+	// OpErrs counts per-operation errors clients absorbed (shard closed
+	// during churn faults, OOM on an exhausted shard, ...).
+	OpErrs uint64 `json:"op_errs"`
+	// P50/P99 are service-request latencies with the faults live.
+	P50 time.Duration `json:"p50_ns"`
+	P99 time.Duration `json:"p99_ns"`
+}
+
+// ChaosResult is the chaos experiment's outcome: one audited row per
+// scheme shard, the fault episode log, and the client-side aggregate.
+type ChaosResult struct {
+	Rows   []ChaosRow     `json:"rows"`
+	Events []chaos.Event  `json:"events"`
+	Agg    ChaosAggregate `json:"aggregate"`
+	// Consistent reports that no audit contradicted a declared class.
+	Consistent bool `json:"consistent"`
+}
+
+// runChaosClients drives closed-loop clients until deadline, tolerating
+// per-operation errors (they are what faults look like from outside).
+// Returns total ops, op errors, and merged request latencies.
+func runChaosClients(st *store.Store, src *workload.Source, cfg ChaosConfig, deadline time.Time) (uint64, uint64, hist.Latency, error) {
+	var wg sync.WaitGroup
+	ops := make([]uint64, cfg.Clients)
+	errs := make([]uint64, cfg.Clients)
+	lats := make([]hist.Latency, cfg.Clients)
+	fail := make([]error, cfg.Clients)
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			stream := src.Thread(c, 1<<20)
+			batch := make([]store.Op, 0, cfg.Batch)
+			for time.Now().Before(deadline) {
+				batch = batch[:0]
+				for len(batch) < cfg.Batch {
+					kind, key := stream.Next()
+					batch = append(batch, store.Op{Kind: kind, Key: key})
+				}
+				t0 := time.Now()
+				res, err := st.Do(batch)
+				if err != nil {
+					// Store-level failure (closed store): a harness bug,
+					// not a fault outcome.
+					fail[c] = err
+					return
+				}
+				lats[c].Record(time.Since(t0))
+				ops[c] += uint64(len(batch))
+				for _, r := range res {
+					if r.Err != nil {
+						errs[c]++
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	var lat hist.Latency
+	var totalOps, totalErrs uint64
+	for c := 0; c < cfg.Clients; c++ {
+		if fail[c] != nil {
+			return 0, 0, lat, fail[c]
+		}
+		totalOps += ops[c]
+		totalErrs += errs[c]
+		lat.Merge(&lats[c])
+	}
+	return totalOps, totalErrs, lat, nil
+}
+
+// RunChaos builds a gated store with one shard per scheme, runs
+// closed-loop traffic for the configured window while the chaos engine
+// injects the configured faults into every shard, samples per-shard
+// backlog telemetry throughout, and audits each scheme's declared
+// robustness class against the fitted growth of its faulted window.
+func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
+	cfg.fill()
+	nshards := len(cfg.Schemes)
+	gates := make([]*sched.Breakpoints, nshards)
+	specs := make([]store.ShardSpec, nshards)
+	for i, scheme := range cfg.Schemes {
+		gates[i] = sched.NewBreakpoints()
+		specs[i] = store.ShardSpec{
+			Scheme:    scheme,
+			Structure: cfg.Structure,
+			Workers:   cfg.WorkersPerShard,
+			Threshold: cfg.Threshold,
+			Slots:     cfg.SlotsPerShard,
+			Gate:      gates[i],
+		}
+	}
+	st, err := store.New(store.Config{Shards: specs, KeyRange: cfg.KeyRange})
+	if err != nil {
+		return ChaosResult{}, err
+	}
+	defer st.Close()
+
+	src, err := workload.New(workload.Config{
+		Dist:     cfg.Workload,
+		Schedule: cfg.Schedule,
+		KeyRange: cfg.KeyRange,
+		Mix:      cfg.Mix,
+		Seed:     cfg.Seed,
+	})
+	if err != nil {
+		return ChaosResult{}, err
+	}
+
+	// Prefill to half occupancy through the service, like any traffic.
+	pre := workload.RNG(cfg.Seed ^ 0xf00d)
+	batch := make([]store.Op, 0, cfg.Batch)
+	for i := 0; i < cfg.KeyRange/2; i++ {
+		batch = append(batch, store.Op{Kind: workload.OpInsert, Key: int64(pre.Next() % uint64(cfg.KeyRange))})
+		if len(batch) == cfg.Batch || i == cfg.KeyRange/2-1 {
+			res, err := st.Do(batch)
+			if err != nil {
+				return ChaosResult{}, err
+			}
+			for _, r := range res {
+				if r.Err != nil {
+					return ChaosResult{}, r.Err
+				}
+			}
+			batch = batch[:0]
+		}
+	}
+
+	sampler := telemetry.NewSampler(
+		telemetry.Config{Interval: cfg.SampleInterval, Capacity: 4096},
+		func() []telemetry.Point {
+			gs := st.Gauges()
+			pts := make([]telemetry.Point, len(gs))
+			for i, g := range gs {
+				pts[i] = telemetry.Point{
+					Ops:        g.Ops,
+					Retired:    g.Retired,
+					MaxRetired: g.MaxRetired,
+					Active:     g.Active,
+					MaxActive:  g.MaxActive,
+				}
+			}
+			return pts
+		})
+
+	target := &chaos.Target{Store: st, Gates: gates, KeyRange: cfg.KeyRange}
+	engine := chaos.NewEngine(target)
+	for _, name := range cfg.Faults {
+		for s := 0; s < nshards; s++ {
+			if err := engine.Add(name, chaos.Params{Shard: s}, chaos.OneShot(cfg.FaultAfter)); err != nil {
+				return ChaosResult{}, err
+			}
+		}
+	}
+
+	sampler.Start()
+	engine.Start()
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+
+	// Heal at the deadline from a watchdog: clients blocked on a stalled
+	// worker only come back once the faults do, so the engine must stop
+	// first, independent of client progress. The evidence — shard stats
+	// and the telemetry series — is snapshotted at the deadline too,
+	// *before* the heals run: a churn heal reopens its shard with zeroed
+	// counters, and a stall heal lets the resumed worker collapse the
+	// backlog, either of which would contaminate the faulted window if
+	// read afterwards.
+	var stats store.Stats
+	series := make([][]telemetry.Point, nshards)
+	healed := make(chan struct{})
+	go func() {
+		defer close(healed)
+		time.Sleep(time.Until(deadline))
+		stats = st.Stats()
+		for s := 0; s < nshards; s++ {
+			series[s] = sampler.Series(s).Points()
+		}
+		engine.Stop()
+	}()
+	ops, opErrs, lat, err := runChaosClients(st, src, cfg, deadline)
+	<-healed
+	elapsed := time.Since(start)
+	sampler.Stop()
+	if err != nil {
+		return ChaosResult{}, err
+	}
+	if err := st.Close(); err != nil {
+		return ChaosResult{}, err
+	}
+
+	events := engine.Events()
+	res := ChaosResult{
+		Events:     events,
+		Consistent: true,
+		Agg: ChaosAggregate{
+			Shards:   nshards,
+			Schemes:  cfg.Schemes,
+			Faults:   cfg.Faults,
+			Clients:  cfg.Clients,
+			Batch:    cfg.Batch,
+			Workers:  cfg.WorkersPerShard,
+			KeyRange: cfg.KeyRange,
+			Mix:      src.Config().Mix,
+			Workload: src.Config().Dist,
+			Schedule: src.Config().Schedule,
+			Seed:     cfg.Seed,
+			Elapsed:  elapsed,
+			Ops:      ops,
+			OpErrs:   opErrs,
+			P50:      lat.Percentile(0.50),
+			P99:      lat.Percentile(0.99),
+		},
+	}
+	budget := telemetry.Budget{Threads: cfg.WorkersPerShard, Threshold: cfg.Threshold}
+	for s, scheme := range cfg.Schemes {
+		props, err := all.Props(scheme)
+		if err != nil {
+			return ChaosResult{}, err
+		}
+		// Fit only the faulted window: from the first episode injected
+		// into this shard onward.
+		var from time.Duration
+		for _, ev := range events {
+			if ev.Shard == s && ev.Err == "" {
+				from = ev.At
+				break
+			}
+		}
+		points := series[s]
+		v := telemetry.Audit(scheme, props.Robustness, points, from, budget)
+		v.Fit.Sanitize()
+		row := ChaosRow{
+			Shard:       s,
+			Scheme:      scheme,
+			Declared:    v.Declared,
+			Audited:     v.Audited,
+			Growth:      v.Fit.GrowthName,
+			Slope:       v.Fit.Slope,
+			Plateau:     v.Fit.Plateau,
+			PeakRetired: stats.Shards[s].MaxRetired,
+			Ops:         stats.Shards[s].Ops,
+			OOMs:        stats.Shards[s].OOMs,
+			Outcome:     v.Outcome,
+			Consistent:  v.Consistent(),
+			Series:      points,
+		}
+		// Heap exhaustion is stronger evidence than any fit: the backlog
+		// literally ran the shard out of memory.
+		if row.OOMs > 0 {
+			row.Audited = "not-robust"
+			row.Growth = "unbounded"
+			if row.Declared == "not-robust" {
+				row.Outcome = "confirmed"
+				row.Consistent = true
+			} else {
+				row.Outcome = "VIOLATED"
+				row.Consistent = false
+			}
+		}
+		if !row.Consistent {
+			res.Consistent = false
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// ChaosVerdictError is returned by CheckChaos when an audit contradicts a
+// declared robustness class.
+type ChaosVerdictError struct{ Rows []ChaosRow }
+
+func (e *ChaosVerdictError) Error() string {
+	return fmt.Sprintf("chaos: %d scheme(s) violated their declared robustness class", len(e.Rows))
+}
+
+// CheckChaos returns a ChaosVerdictError when the result holds
+// violations, for drivers that want a nonzero exit under -strict.
+func CheckChaos(res ChaosResult) error {
+	var bad []ChaosRow
+	for _, r := range res.Rows {
+		if !r.Consistent {
+			bad = append(bad, r)
+		}
+	}
+	if len(bad) > 0 {
+		return &ChaosVerdictError{Rows: bad}
+	}
+	return nil
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package bench
+
+// raceEnabled scales the chaos tests' traffic windows: under the race
+// detector the simulator runs an order of magnitude slower, and the
+// robustness audit needs a window with enough *work* in it to separate
+// the classes.
+const raceEnabled = true

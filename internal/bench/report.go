@@ -6,6 +6,8 @@ import (
 	"io"
 	"sort"
 	"time"
+
+	"repro/internal/chaos"
 )
 
 // WriteThroughputTable renders throughput rows.
@@ -107,6 +109,67 @@ func ReadServiceReport(r io.Reader) (ServiceReport, error) {
 	var rep ServiceReport
 	if err := json.NewDecoder(r).Decode(&rep); err != nil {
 		return ServiceReport{}, fmt.Errorf("bench: malformed service artifact: %w", err)
+	}
+	return rep, nil
+}
+
+// WriteChaosTable renders the chaos audit: one verdict line per scheme
+// shard, the fault episode log, then the client-side aggregate.
+func WriteChaosTable(w io.Writer, res ChaosResult) {
+	fmt.Fprintf(w, "%-6s %-11s %-13s %-13s %-18s %9s %9s %13s %10s %6s %s\n",
+		"shard", "scheme", "declared", "audited", "growth", "slope/op", "plateau", "peak-retired", "ops", "ooms", "outcome")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%-6d %-11s %-13s %-13s %-18s %9.4f %9.1f %13d %10d %6d %s\n",
+			r.Shard, r.Scheme, r.Declared, r.Audited, r.Growth,
+			r.Slope, r.Plateau, r.PeakRetired, r.Ops, r.OOMs, r.Outcome)
+	}
+	for _, ev := range res.Events {
+		line := fmt.Sprintf("fault: %-16s shard %d episode %d at %s", ev.Fault, ev.Shard, ev.Episode, ev.At.Round(time.Millisecond))
+		if ev.Err != "" {
+			line += " FAILED: " + ev.Err
+		} else if ev.Healed > 0 {
+			line += fmt.Sprintf(" healed at %s", ev.Healed.Round(time.Millisecond))
+		}
+		fmt.Fprintln(w, line)
+	}
+	a := res.Agg
+	fmt.Fprintf(w, "aggregate: %d shards × %d workers, %d clients × batch %d, faults %v, %s/%s mix %s seed %d\n",
+		a.Shards, a.Workers, a.Clients, a.Batch, a.Faults, a.Workload, a.Schedule, a.Mix, a.Seed)
+	fmt.Fprintf(w, "           %d ops (%d op-errors) in %s, request p50 %s p99 %s, verdicts consistent: %v\n",
+		a.Ops, a.OpErrs, a.Elapsed.Round(time.Millisecond), fmtLatency(a.P50), fmtLatency(a.P99), res.Consistent)
+}
+
+// ChaosReport is the machine-readable chaos artifact (the
+// BENCH_chaos.json file): the audited rows with their evidence series,
+// the fault episode log, and the aggregate, under the same
+// experiment/trajectory convention as Report.
+type ChaosReport struct {
+	Experiment string         `json:"experiment"`
+	Rows       []ChaosRow     `json:"rows"`
+	Events     []chaos.Event  `json:"events"`
+	Aggregate  ChaosAggregate `json:"aggregate"`
+	Consistent bool           `json:"consistent"`
+}
+
+// WriteChaosReport emits the chaos audit as an indented JSON benchmark
+// artifact.
+func WriteChaosReport(w io.Writer, res ChaosResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ChaosReport{
+		Experiment: "chaos",
+		Rows:       res.Rows,
+		Events:     res.Events,
+		Aggregate:  res.Agg,
+		Consistent: res.Consistent,
+	})
+}
+
+// ReadChaosReport parses an artifact written by WriteChaosReport.
+func ReadChaosReport(r io.Reader) (ChaosReport, error) {
+	var rep ChaosReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return ChaosReport{}, fmt.Errorf("bench: malformed chaos artifact: %w", err)
 	}
 	return rep, nil
 }

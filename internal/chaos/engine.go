@@ -1,0 +1,207 @@
+package chaos
+
+import (
+	"sync"
+	"time"
+)
+
+// Schedule paces a fault's episodes over a run.
+type Schedule struct {
+	// After is the delay before the first episode.
+	After time.Duration `json:"after_ns"`
+	// Period is the time between episode starts; 0 makes the fault
+	// one-shot.
+	Period time.Duration `json:"period_ns"`
+	// Episodes caps the number of firings; 0 means once for one-shot
+	// schedules and unlimited (until Stop) for periodic ones.
+	Episodes int `json:"episodes"`
+	// Hold is how long an episode stays injected before it is healed;
+	// 0 holds until the engine stops.
+	Hold time.Duration `json:"hold_ns"`
+	// Ramp grows the intensity across episodes: episode i fires with
+	// intensity 1 + Ramp×i. 0 keeps every episode at intensity 1.
+	Ramp float64 `json:"ramp"`
+}
+
+// OneShot fires once after the delay and holds until the engine stops.
+func OneShot(after time.Duration) Schedule {
+	return Schedule{After: after}
+}
+
+// Periodic fires every period, holding each episode for hold.
+func Periodic(after, period, hold time.Duration) Schedule {
+	return Schedule{After: after, Period: period, Hold: hold}
+}
+
+// Ramp is Periodic with intensity growing by step per episode.
+func Ramp(after, period, hold time.Duration, step float64) Schedule {
+	return Schedule{After: after, Period: period, Hold: hold, Ramp: step}
+}
+
+// Event records one episode for the run report: what fired, where, when,
+// and when it was healed.
+type Event struct {
+	Fault   string `json:"fault"`
+	Shard   int    `json:"shard"`
+	Episode int    `json:"episode"`
+	// At is the injection time relative to Engine.Start.
+	At time.Duration `json:"at_ns"`
+	// Healed is the heal time relative to Engine.Start; 0 while held.
+	Healed time.Duration `json:"healed_ns"`
+	// Err records an episode that failed to inject.
+	Err string `json:"err,omitempty"`
+	// Intensity is the episode's ramped intensity.
+	Intensity float64 `json:"intensity"`
+}
+
+type injection struct {
+	fault Fault
+	sched Schedule
+}
+
+// Engine drives scheduled fault injections against one target. Add
+// injections, Start, run traffic, Stop: Stop heals everything still
+// outstanding and waits for the fault goroutines to drain.
+type Engine struct {
+	target     *Target
+	injections []injection
+
+	start   time.Time
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	stopped sync.Once
+
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewEngine builds an engine over the target.
+func NewEngine(t *Target) *Engine {
+	return &Engine{target: t, stop: make(chan struct{})}
+}
+
+// Add registers the named fault (resolved through the registry) on the
+// schedule. Must be called before Start.
+func (e *Engine) Add(name string, p Params, s Schedule) error {
+	f, err := New(name, p)
+	if err != nil {
+		return err
+	}
+	e.AddFault(f, s)
+	return nil
+}
+
+// AddFault registers a pre-built fault on the schedule. Must be called
+// before Start.
+func (e *Engine) AddFault(f Fault, s Schedule) {
+	e.injections = append(e.injections, injection{fault: f, sched: s})
+}
+
+// Events returns a copy of the episode log, in firing order.
+func (e *Engine) Events() []Event {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Event, len(e.events))
+	copy(out, e.events)
+	return out
+}
+
+// record appends an event and returns its index for later completion.
+func (e *Engine) record(ev Event) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.events = append(e.events, ev)
+	return len(e.events) - 1
+}
+
+func (e *Engine) setHealed(i int) {
+	e.mu.Lock()
+	e.events[i].Healed = time.Since(e.start)
+	e.mu.Unlock()
+}
+
+func (e *Engine) setErr(i int, err error) {
+	e.mu.Lock()
+	e.events[i].Err = err.Error()
+	e.mu.Unlock()
+}
+
+// sleep waits for d or until the engine stops; it reports false on stop.
+// A non-positive d returns true immediately.
+func (e *Engine) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	select {
+	case <-e.stop:
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
+// Start launches one runner per injection. t=0 for schedules and event
+// timestamps is now.
+func (e *Engine) Start() {
+	e.start = time.Now()
+	for _, inj := range e.injections {
+		e.wg.Add(1)
+		go e.run(inj)
+	}
+}
+
+// Stop ends the run: periodic runners cease, held episodes are healed,
+// and Stop returns once every runner has drained. Idempotent.
+func (e *Engine) Stop() {
+	e.stopped.Do(func() { close(e.stop) })
+	e.wg.Wait()
+}
+
+// run is one injection's lifecycle.
+func (e *Engine) run(inj injection) {
+	defer e.wg.Done()
+	if !e.sleep(inj.sched.After) {
+		return
+	}
+	for ep := 0; ; ep++ {
+		if inj.sched.Episodes > 0 && ep >= inj.sched.Episodes {
+			return
+		}
+		if inj.sched.Period <= 0 && ep >= 1 {
+			return
+		}
+		intensity := 1 + inj.sched.Ramp*float64(ep)
+		fired := time.Now()
+		idx := e.record(Event{
+			Fault:     inj.fault.Name(),
+			Shard:     inj.fault.Shard(),
+			Episode:   ep,
+			At:        time.Since(e.start),
+			Intensity: intensity,
+		})
+		heal, err := inj.fault.Inject(e.target, intensity)
+		if err != nil {
+			e.setErr(idx, err)
+		} else {
+			if inj.sched.Hold > 0 {
+				e.sleep(inj.sched.Hold)
+				heal()
+				e.setHealed(idx)
+			} else {
+				// Hold until the engine stops. One-shot holds pin this
+				// runner; periodic schedules need a Hold to make sense,
+				// so treat hold-until-stop as terminal either way.
+				<-e.stop
+				heal()
+				e.setHealed(idx)
+				return
+			}
+		}
+		if inj.sched.Period <= 0 {
+			return
+		}
+		if !e.sleep(inj.sched.Period - time.Since(fired)) {
+			return
+		}
+	}
+}

@@ -55,6 +55,11 @@ type Info struct {
 	// deleted (and possibly retired) nodes — the property that defeats
 	// per-pointer protection schemes (Appendix E of the paper).
 	TraversesRetired bool
+	// Partitioned reports that searches visit only a hash partition of
+	// the key space (the hashmaps): scripted adversaries that assume one
+	// key lies on another key's search path cannot target such a
+	// structure, so structure sweeps built on those scripts skip it.
+	Partitioned bool
 	// NewSet/NewQueue/NewStack is non-nil per Kind.
 	NewSet   func(s smr.Scheme, opt ds.Options) (ds.Set, error)
 	NewQueue func(s smr.Scheme, opt ds.Options) (ds.Queue, error)
@@ -75,11 +80,11 @@ var infos = map[string]Info{
 		NewSet: func(s smr.Scheme, opt ds.Options) (ds.Set, error) { return skiplist.New(s, opt) },
 	},
 	"hashmap-harris": {
-		Name: "hashmap-harris", Kind: KindSet, PayloadWords: 2, TraversesRetired: true,
+		Name: "hashmap-harris", Kind: KindSet, PayloadWords: 2, TraversesRetired: true, Partitioned: true,
 		NewSet: func(s smr.Scheme, opt ds.Options) (ds.Set, error) { return hashmap.New(s, opt, 16, "harris") },
 	},
 	"hashmap-michael": {
-		Name: "hashmap-michael", Kind: KindSet, PayloadWords: 2,
+		Name: "hashmap-michael", Kind: KindSet, PayloadWords: 2, Partitioned: true,
 		NewSet: func(s smr.Scheme, opt ds.Options) (ds.Set, error) { return hashmap.New(s, opt, 16, "michael") },
 	},
 	"nmtree": {
@@ -117,6 +122,22 @@ func SetNames() []string {
 	var names []string
 	for _, n := range Names() {
 		if infos[n].Kind == KindSet {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+// TraversalSetNames returns, sorted, the set structures whose searches
+// traverse the full key order (not hash-partitioned) and may cross
+// retired nodes — the structures the paper's §6 discussion asks about,
+// and the ones the scripted stall adversaries can target. Experiment
+// sweeps iterate this listing instead of hand-maintained slices so their
+// report ordering is stable and new structures join automatically.
+func TraversalSetNames() []string {
+	var names []string
+	for _, n := range SetNames() {
+		if in := infos[n]; in.TraversesRetired && !in.Partitioned {
 			names = append(names, n)
 		}
 	}

@@ -1,6 +1,8 @@
 package registry_test
 
 import (
+	"reflect"
+	"sort"
 	"testing"
 
 	"repro/internal/ds"
@@ -127,5 +129,41 @@ func TestApplicabilityClassification(t *testing.T) {
 		if !registry.Applicable(scheme, "harris") {
 			t.Errorf("%s must be applicable to harris", scheme)
 		}
+	}
+}
+
+// TestListingsDeterministic pins the ordering contract experiment tables
+// rely on: every listing is sorted, stable across calls, and the
+// traversal subset holds exactly the full-order traversal structures.
+func TestListingsDeterministic(t *testing.T) {
+	for name, list := range map[string][]string{
+		"Names":             registry.Names(),
+		"SetNames":          registry.SetNames(),
+		"TraversalSetNames": registry.TraversalSetNames(),
+	} {
+		if !sort.StringsAreSorted(list) {
+			t.Errorf("%s not sorted: %v", name, list)
+		}
+	}
+	if again := registry.Names(); !reflect.DeepEqual(again, registry.Names()) {
+		t.Error("Names unstable across calls")
+	}
+	want := []string{"harris", "nmtree", "skiplist"}
+	if got := registry.TraversalSetNames(); !reflect.DeepEqual(got, want) {
+		t.Errorf("TraversalSetNames = %v, want %v", got, want)
+	}
+	// The hashmaps are set structures but hash-partitioned: they must be
+	// in SetNames and out of the traversal listing.
+	sets := registry.SetNames()
+	has := func(s string) bool {
+		for _, n := range sets {
+			if n == s {
+				return true
+			}
+		}
+		return false
+	}
+	if !has("hashmap-harris") || !has("hashmap-michael") {
+		t.Errorf("SetNames lost the hashmaps: %v", sets)
 	}
 }

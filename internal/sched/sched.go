@@ -74,10 +74,38 @@ func (b *Breakpoints) Arm(tid int, point string, match func(arg uint64) bool, sk
 	return s
 }
 
+// ArmIfFree arms like Arm but refuses to replace: when tid already has a
+// breakpoint armed it returns (nil, false) and leaves it in place.
+// Concurrent directors sharing one Breakpoints (the chaos engine's
+// stall-family faults) use it to claim distinct threads without
+// clobbering each other.
+func (b *Breakpoints) ArmIfFree(tid int, point string, match func(arg uint64) bool, skip int) (*Stall, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, taken := b.armed[tid]; taken {
+		return nil, false
+	}
+	s := &Stall{reached: make(chan struct{}), release: make(chan struct{})}
+	b.armed[tid] = &bp{point: point, match: match, skip: skip, stall: s}
+	return s, true
+}
+
 // Disarm removes any breakpoint armed for tid.
 func (b *Breakpoints) Disarm(tid int) {
 	b.mu.Lock()
 	delete(b.armed, tid)
+	b.mu.Unlock()
+}
+
+// DisarmStall removes tid's breakpoint only if it is the one whose Arm
+// returned s — the safe form for a director that may be racing other
+// directors (its own breakpoint may have fired and the slot been re-armed
+// by someone else; a plain Disarm would remove theirs).
+func (b *Breakpoints) DisarmStall(tid int, s *Stall) {
+	b.mu.Lock()
+	if p := b.armed[tid]; p != nil && p.stall == s {
+		delete(b.armed, tid)
+	}
 	b.mu.Unlock()
 }
 

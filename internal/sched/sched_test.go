@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"sync"
 	"testing"
 	"time"
 )
@@ -126,4 +127,175 @@ func TestReleaseIdempotent(t *testing.T) {
 	if err := task2.Wait(); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestRearmReplaces: arming a second breakpoint for the same thread
+// replaces the first — only the newest parks, and the orphaned stall
+// never fires.
+func TestRearmReplaces(t *testing.T) {
+	b := NewBreakpoints()
+	old := b.Arm(0, "p", nil, 0)
+	cur := b.Arm(0, "q", nil, 0)
+	task := Go(func() error {
+		b.Hit(0, "p", 0) // replaced: must not park
+		b.Hit(0, "q", 0) // current: parks
+		return nil
+	})
+	<-cur.Reached()
+	select {
+	case <-old.Reached():
+		t.Fatal("replaced breakpoint fired")
+	default:
+	}
+	cur.Release()
+	if err := task.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentReachedWaiters: many directors may wait on the same
+// stall's Reached (the chaos engine's fault and its watchdog both do);
+// all of them must wake.
+func TestConcurrentReachedWaiters(t *testing.T) {
+	b := NewBreakpoints()
+	stall := b.Arm(0, "p", nil, 0)
+	var woke sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		woke.Add(1)
+		go func() {
+			defer woke.Done()
+			<-stall.Reached()
+		}()
+	}
+	task := Go(func() error {
+		b.Hit(0, "p", 0)
+		return nil
+	})
+	woke.Wait()
+	stall.Release()
+	if err := task.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReleaseBeforeReached: the chaos heal path releases defensively even
+// when the park never happened — the thread arriving *after* the release
+// must sail through without blocking once the breakpoint is disarmed,
+// and a pre-release park must not deadlock.
+func TestReleaseBeforeReached(t *testing.T) {
+	b := NewBreakpoints()
+	stall := b.Arm(0, "p", nil, 0)
+	// Heal-without-park: disarm then release, as chaos does.
+	b.Disarm(0)
+	stall.Release()
+	done := make(chan struct{})
+	go func() {
+		b.Hit(0, "p", 0)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("thread blocked after disarm+release")
+	}
+
+	// Park racing the release: the hit that claims the breakpoint before
+	// the release must unblock on the closed channel, not hang.
+	stall2 := b.Arm(0, "p", nil, 0)
+	task := Go(func() error {
+		b.Hit(0, "p", 0)
+		return nil
+	})
+	stall2.Release() // possibly before, possibly after the park
+	if err := task.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentHitsAndDisarms hammers Arm/Hit/Disarm from many
+// goroutines: no panics, no lost releases, every parked thread drains.
+// This is the exact contention shape of a chaos run — gate hits on every
+// shard operation while the engine arms and heals.
+func TestConcurrentHitsAndDisarms(t *testing.T) {
+	b := NewBreakpoints()
+	const threads = 4
+	stop := make(chan struct{})
+	var hitters sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		hitters.Add(1)
+		go func(tid int) {
+			defer hitters.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					b.Hit(tid, "p", uint64(tid))
+				}
+			}
+		}(tid)
+	}
+	for round := 0; round < 50; round++ {
+		tid := round % threads
+		stall := b.Arm(tid, "p", nil, round%3)
+		select {
+		case <-stall.Reached():
+		case <-time.After(2 * time.Second):
+			t.Fatal("armed breakpoint never reached under churn")
+		}
+		stall.Release()
+		b.Disarm(tid) // already fired: must be a harmless no-op
+	}
+	close(stop)
+	hitters.Wait()
+}
+
+// TestArmIfFreeAndDisarmStall: claiming arms refuse to replace, and the
+// targeted disarm removes only its own breakpoint.
+func TestArmIfFreeAndDisarmStall(t *testing.T) {
+	b := NewBreakpoints()
+	first, ok := b.ArmIfFree(0, "p", nil, 0)
+	if !ok || first == nil {
+		t.Fatal("first claim refused")
+	}
+	if _, ok := b.ArmIfFree(0, "q", nil, 0); ok {
+		t.Fatal("second claim replaced an armed breakpoint")
+	}
+	// DisarmStall with a stranger's stall must not remove first's.
+	stranger, _ := b.ArmIfFree(1, "p", nil, 0)
+	b.DisarmStall(0, stranger)
+	task := Go(func() error {
+		b.Hit(0, "p", 0)
+		return nil
+	})
+	select {
+	case <-first.Reached():
+	case <-time.After(2 * time.Second):
+		t.Fatal("first's breakpoint was removed by a mismatched DisarmStall")
+	}
+	first.Release()
+	if err := task.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// After first fired, its slot is free again; a new owner claims it
+	// and first's (now stale) DisarmStall must not remove the new one.
+	second, ok := b.ArmIfFree(0, "p", nil, 0)
+	if !ok {
+		t.Fatal("slot not free after fire")
+	}
+	b.DisarmStall(0, first) // stale: no-op
+	task2 := Go(func() error {
+		b.Hit(0, "p", 0)
+		return nil
+	})
+	select {
+	case <-second.Reached():
+	case <-time.After(2 * time.Second):
+		t.Fatal("stale DisarmStall removed the new owner's breakpoint")
+	}
+	second.Release()
+	if err := task2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	b.DisarmStall(1, stranger)
 }

@@ -92,6 +92,21 @@ func (sh *shard) drain() {
 	}
 }
 
+// gauges reads the shard's telemetry tap: arena level gauges and
+// watermarks plus summed op stripes. See ShardGauges.
+func (sh *shard) gauges() ShardGauges {
+	g := ShardGauges{Shard: sh.id}
+	for i := range sh.stripes {
+		g.Ops += sh.stripes[i].ops.Load()
+	}
+	as := sh.arena.Stats()
+	g.Retired = as.Retired()
+	g.MaxRetired = as.MaxRetired()
+	g.Active = as.Active()
+	g.MaxActive = as.MaxActive()
+	return g
+}
+
 // stats aggregates the shard's striped service counters with its arena
 // and scheme counters.
 func (sh *shard) stats() ShardStats {
@@ -110,9 +125,11 @@ func (sh *shard) stats() ShardStats {
 	a := sh.arena.Stats().Snapshot()
 	s.Retired = a.Retired
 	s.MaxRetired = a.MaxRetired
+	s.MaxActive = a.MaxActive
 	s.Faults = a.Faults
 	s.UnsafeAccesses = a.UnsafeAccesses()
 	s.Violations = a.Violations
+	s.OOMs = a.OOMs
 	sc := sh.scheme.Stats().Snapshot()
 	s.Restarts = sc.Restarts
 	s.StaleUses = sc.StaleUses

@@ -17,12 +17,18 @@ type ShardStats struct {
 	Errs uint64 `json:"errs"`
 
 	// Heap counters: the retired backlog is the robustness observable,
-	// the fault/unsafe counters the safety observable.
+	// the fault/unsafe counters the safety observable. MaxActive is the
+	// paper's max_active — the budget the robustness definitions bound
+	// the backlog by.
 	Retired        uint64 `json:"retired"`
 	MaxRetired     uint64 `json:"max_retired"`
+	MaxActive      uint64 `json:"max_active"`
 	Faults         uint64 `json:"faults"`
 	UnsafeAccesses uint64 `json:"unsafe_accesses"`
 	Violations     uint64 `json:"violations"`
+	// OOMs counts failed allocations: a backlog that exhausts the shard
+	// heap is the robustness failure made concrete.
+	OOMs uint64 `json:"ooms"`
 
 	// Scheme counters.
 	Restarts  uint64 `json:"restarts"`
@@ -41,17 +47,22 @@ type Stats struct {
 	Errs           uint64 `json:"errs"`
 	Retired        uint64 `json:"retired"`
 	MaxRetired     uint64 `json:"max_retired"`
+	MaxActive      uint64 `json:"max_active"`
 	Faults         uint64 `json:"faults"`
 	UnsafeAccesses uint64 `json:"unsafe_accesses"`
 	Violations     uint64 `json:"violations"`
+	OOMs           uint64 `json:"ooms"`
 	Restarts       uint64 `json:"restarts"`
 	StaleUses      uint64 `json:"stale_uses"`
 }
 
 // Stats aggregates every shard's counters on read. Safe to call while
 // the store serves; counters are individually atomic, so the snapshot has
-// the usual mid-run slack and is exact at quiescence.
+// the usual mid-run slack and is exact at quiescence. The read lock
+// orders the shard-slice read against ReopenShard's swap.
 func (st *Store) Stats() Stats {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	var s Stats
 	s.Shards = make([]ShardStats, 0, len(st.shards))
 	for _, sh := range st.shards {
@@ -62,11 +73,39 @@ func (st *Store) Stats() Stats {
 		s.Errs += ss.Errs
 		s.Retired += ss.Retired
 		s.MaxRetired += ss.MaxRetired
+		s.MaxActive += ss.MaxActive
 		s.Faults += ss.Faults
 		s.UnsafeAccesses += ss.UnsafeAccesses
 		s.Violations += ss.Violations
+		s.OOMs += ss.OOMs
 		s.Restarts += ss.Restarts
 		s.StaleUses += ss.StaleUses
 	}
 	return s
+}
+
+// ShardGauges is the telemetry tap: the per-shard level gauges and
+// watermarks the robustness audit samples on every tick, plus the shard's
+// operation progress. Unlike ShardStats it reads only the global gauges
+// and the op stripes — no scheme snapshot, no error/hit aggregation — so
+// a millisecond-tick sampler stays off the serving path's cache lines.
+type ShardGauges struct {
+	Shard      int    `json:"shard"`
+	Ops        uint64 `json:"ops"`
+	Retired    uint64 `json:"retired"`
+	MaxRetired uint64 `json:"max_retired"`
+	Active     uint64 `json:"active"`
+	MaxActive  uint64 `json:"max_active"`
+}
+
+// Gauges snapshots every shard's gauge view. Safe to call while the store
+// serves and across ReopenShard swaps.
+func (st *Store) Gauges() []ShardGauges {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make([]ShardGauges, len(st.shards))
+	for i, sh := range st.shards {
+		out[i] = sh.gauges()
+	}
+	return out
 }

@@ -26,6 +26,7 @@ import (
 	"repro/internal/ds"
 	"repro/internal/ds/registry"
 	"repro/internal/mem"
+	"repro/internal/sched"
 	"repro/internal/smr"
 	"repro/internal/smr/all"
 	"repro/internal/workload"
@@ -59,6 +60,11 @@ type ShardSpec struct {
 	// Slots sizes the shard's heap; 0 derives a default from the store's
 	// key range. Leaky schemes ("none") need an explicit size.
 	Slots int
+	// Gate, when non-nil, instruments the shard's structure with named
+	// execution points (sched.Gate). This is the chaos-injection hook:
+	// internal/chaos arms breakpoints on it to park shard workers at
+	// reclamation-critical moments. Nil costs nothing on the serving path.
+	Gate sched.Gate
 }
 
 // Config assembles a store.
@@ -104,6 +110,9 @@ type Result struct {
 type Store struct {
 	shards   []*shard
 	keyRange int
+	// cfg is the defaults-filled construction config, kept so closed
+	// shards can be rebuilt (ReopenShard).
+	cfg Config
 
 	// mu orders submissions against shard/store close: submitters hold it
 	// shared while checking closed flags and enqueueing, closers hold it
@@ -125,7 +134,7 @@ func New(cfg Config) (*Store, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 64
 	}
-	st := &Store{keyRange: cfg.KeyRange}
+	st := &Store{keyRange: cfg.KeyRange, cfg: cfg}
 	for i, spec := range cfg.Shards {
 		sh, err := newShard(i, spec, cfg)
 		if err != nil {
@@ -170,7 +179,7 @@ func newShard(id int, spec ShardSpec, cfg Config) (*shard, error) {
 	if err != nil {
 		return nil, err
 	}
-	set, err := info.NewSet(s, ds.Options{})
+	set, err := info.NewSet(s, ds.Options{Gate: spec.Gate})
 	if err != nil {
 		return nil, err
 	}
@@ -297,6 +306,42 @@ func (st *Store) CloseShard(s int) error {
 	sh.wg.Wait()
 	sh.drain()
 	return nil
+}
+
+// ReopenShard rebuilds a drained shard from its resolved spec and resumes
+// serving on it. The rebuilt shard starts empty — reopening models a
+// process restart (fresh heap, fresh SMR domain, cold data), which is
+// exactly the fault surface the chaos churn fault exercises: clients see
+// ErrShardClosed turn back into misses, not into stale data.
+func (st *Store) ReopenShard(s int) error {
+	if s < 0 || s >= len(st.shards) {
+		return fmt.Errorf("store: no shard %d", s)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return ErrClosed
+	}
+	old := st.shards[s]
+	if !old.closed {
+		return fmt.Errorf("store: shard %d is open", s)
+	}
+	sh, err := newShard(s, old.spec, st.cfg)
+	if err != nil {
+		return fmt.Errorf("store: reopen shard %d: %w", s, err)
+	}
+	st.shards[s] = sh
+	return nil
+}
+
+// Spec returns shard s's resolved spec (defaults filled in).
+func (st *Store) Spec(s int) (ShardSpec, error) {
+	if s < 0 || s >= len(st.shards) {
+		return ShardSpec{}, fmt.Errorf("store: no shard %d", s)
+	}
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.shards[s].spec, nil
 }
 
 // Close drains every shard and shuts the store down. Batches accepted

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/ds"
+	"repro/internal/sched"
 	"repro/internal/store"
 	"repro/internal/workload"
 )
@@ -284,4 +286,145 @@ func TestRejectsInapplicablePair(t *testing.T) {
 	if err == nil {
 		t.Fatal("hp × harris accepted")
 	}
+}
+
+// TestReopenShard checks the churn-fault surface: a drained shard can be
+// rebuilt and serves again (empty — reopening models a restart).
+func TestReopenShard(t *testing.T) {
+	st, err := store.New(store.Config{
+		Shards:   store.Uniform(2, store.ShardSpec{Scheme: "ebr", Structure: "michael"}),
+		KeyRange: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var key int64 = -1
+	for k := int64(0); k < 64; k++ {
+		if st.ShardFor(k) == 0 {
+			key = k
+			break
+		}
+	}
+	if ok, err := st.Insert(key); err != nil || !ok {
+		t.Fatalf("insert: %v, %v", ok, err)
+	}
+	if err := st.ReopenShard(0); err == nil {
+		t.Fatal("reopening an open shard must fail")
+	}
+	if err := st.CloseShard(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Contains(key); !errors.Is(err, store.ErrShardClosed) {
+		t.Fatalf("closed shard served: %v", err)
+	}
+	if err := st.ReopenShard(0); err != nil {
+		t.Fatal(err)
+	}
+	// Reopened shard serves, and serves *empty*.
+	if ok, err := st.Contains(key); err != nil || ok {
+		t.Fatalf("reopened shard contains(%d) = %v, %v; want miss on fresh shard", key, ok, err)
+	}
+	if ok, err := st.Insert(key); err != nil || !ok {
+		t.Fatalf("reopened shard insert: %v, %v", ok, err)
+	}
+	// The resolved spec survives the rebuild.
+	spec, err := st.Spec(0)
+	if err != nil || spec.Scheme != "ebr" || spec.Workers <= 0 || spec.Slots <= 0 {
+		t.Fatalf("reopened spec = %+v, %v", spec, err)
+	}
+}
+
+// TestGaugesTrackLifecycle checks the telemetry tap: ops progress and the
+// retired gauge move with traffic, per shard.
+func TestGaugesTrackLifecycle(t *testing.T) {
+	st, err := store.New(store.Config{
+		Shards:   store.Uniform(2, store.ShardSpec{Scheme: "none", Structure: "michael"}),
+		KeyRange: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var key int64 = -1
+	for k := int64(0); k < 64; k++ {
+		if st.ShardFor(k) == 0 {
+			key = k
+			break
+		}
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := st.Insert(key); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.Delete(key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := st.Gauges()
+	if len(g) != 2 {
+		t.Fatalf("gauges for %d shards, want 2", len(g))
+	}
+	if g[0].Shard != 0 || g[1].Shard != 1 {
+		t.Fatalf("gauge shard ids %d,%d", g[0].Shard, g[1].Shard)
+	}
+	if g[0].Ops != 40 {
+		t.Fatalf("shard 0 ops = %d, want 40", g[0].Ops)
+	}
+	// The leak baseline never reclaims: every delete's node stays retired.
+	if g[0].Retired != 20 || g[0].MaxRetired != 20 {
+		t.Fatalf("shard 0 retired = %d (max %d), want 20", g[0].Retired, g[0].MaxRetired)
+	}
+	if g[0].MaxActive == 0 {
+		t.Fatal("shard 0 max_active gauge never moved")
+	}
+	if g[1].Ops != 0 || g[1].Retired != 0 {
+		t.Fatalf("idle shard 1 gauges moved: %+v", g[1])
+	}
+}
+
+// TestShardGateParksWorker checks the chaos-injection hook end to end: a
+// breakpoint armed on a shard's gate parks that worker mid-operation
+// while the shard's other worker keeps serving.
+func TestShardGateParksWorker(t *testing.T) {
+	bp := sched.NewBreakpoints()
+	st, err := store.New(store.Config{
+		Shards:   []store.ShardSpec{{Scheme: "ebr", Structure: "michael", Workers: 2, Gate: bp}},
+		KeyRange: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	stall := bp.Arm(0, ds.PointSearchHead, nil, 0)
+	// Churn single-op batches from async clients until worker 0 picks one
+	// up and parks; whatever worker 1 serves completes normally. The
+	// client whose op parked stays blocked in Do until Release.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					if _, err := st.Contains(int64(c)); err != nil {
+						t.Errorf("client %d contains: %v", c, err)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	<-stall.Reached()
+	// Worker 0 is parked; the shard still serves through worker 1.
+	if ok, err := st.Insert(3); err != nil || !ok {
+		t.Fatalf("insert while worker parked: %v, %v", ok, err)
+	}
+	close(stop)
+	stall.Release()
+	wg.Wait()
 }

@@ -28,8 +28,10 @@ package repro
 
 import (
 	"io"
+	"time"
 
 	"repro/internal/bench"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/core/adversary"
 	"repro/internal/ds"
@@ -38,6 +40,7 @@ import (
 	"repro/internal/smr"
 	"repro/internal/smr/all"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -199,6 +202,48 @@ func RunService(cfg ServiceConfig) (ServiceResult, error) { return bench.RunServ
 func WriteServiceArtifact(w io.Writer, res ServiceResult) error {
 	return bench.WriteServiceReport(w, res)
 }
+
+// ChaosConfig sizes the chaos-injection robustness audit: a gated store
+// with one shard per scheme, fault injection on a schedule, and telemetry
+// fitted into per-scheme verdicts (see internal/chaos and
+// internal/telemetry).
+type ChaosConfig = bench.ChaosConfig
+
+// ChaosResult is the audit outcome: verdict rows, the fault episode log,
+// and the client-side aggregate.
+type ChaosResult = bench.ChaosResult
+
+// ChaosRow is one scheme shard's verdict: declared robustness class
+// versus the class its faulted telemetry evidences.
+type ChaosRow = bench.ChaosRow
+
+// RunChaos runs the chaos experiment (the erachaos command is a thin
+// wrapper over this).
+func RunChaos(cfg ChaosConfig) (ChaosResult, error) { return bench.RunChaos(cfg) }
+
+// WriteChaosArtifact emits the audit as the machine-readable
+// BENCH_chaos.json artifact format.
+func WriteChaosArtifact(w io.Writer, res ChaosResult) error {
+	return bench.WriteChaosReport(w, res)
+}
+
+// FaultNames lists the registered chaos faults.
+func FaultNames() []string { return chaos.Names() }
+
+// RobustnessVerdict audits a sampled backlog series against a declared
+// robustness class (see internal/telemetry): points are fitted from
+// sampler-relative elapsed time `from` onward against the budget of a
+// healthy domain.
+func RobustnessVerdict(scheme string, declared smr.RobustnessClass, points []TelemetryPoint, from time.Duration, budget TelemetryBudget) telemetry.Verdict {
+	return telemetry.Audit(scheme, declared, points, from, budget)
+}
+
+// TelemetryPoint is one sampled gauge observation.
+type TelemetryPoint = telemetry.Point
+
+// TelemetryBudget frames what "bounded" means for a fit (threads ×
+// retire-scan threshold).
+type TelemetryBudget = telemetry.Budget
 
 // ERAMatrix is the assembled two-of-three matrix.
 type ERAMatrix = core.Matrix

@@ -3,6 +3,7 @@ package repro_test
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"repro"
 )
@@ -157,5 +158,39 @@ func TestFacadeStore(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), `"experiment": "service"`) {
 		t.Errorf("artifact:\n%s", sb.String())
+	}
+}
+
+// TestFacadeChaos exercises the chaos-audit surface: a tiny stall run on
+// two shards spanning the robustness extremes, its artifact, and the
+// fault enumeration.
+func TestFacadeChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run needs a real traffic window")
+	}
+	if len(repro.FaultNames()) == 0 {
+		t.Fatal("no faults registered")
+	}
+	res, err := repro.RunChaos(repro.ChaosConfig{
+		Schemes:  []string{"ebr", "hp"},
+		Duration: 200 * time.Millisecond,
+		Seed:     42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	if res.Rows[0].Audited == res.Rows[1].Audited {
+		t.Errorf("audit did not separate ebr (%s) from hp (%s)",
+			res.Rows[0].Audited, res.Rows[1].Audited)
+	}
+	var sb strings.Builder
+	if err := repro.WriteChaosArtifact(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"experiment": "chaos"`) {
+		t.Errorf("artifact missing experiment tag")
 	}
 }
