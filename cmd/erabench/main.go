@@ -8,6 +8,7 @@
 //	erabench -exp michael      # EXP-MICHAEL: Harris+EBR vs Michael+HP
 //	erabench -exp service      # EXP-SERVICE: sharded store, per-shard SMR
 //	erabench -exp chaos        # EXP-CHAOS:   live robustness audit (erachaos)
+//	erabench -exp adaptive     # EXP-ADAPT:   static vs adaptive reclamation
 //	erabench -exp all          # everything
 //
 // The throughput experiments are workload-driven: -workload names the key
@@ -24,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core/adversary"
@@ -34,8 +36,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: matrix|space|scale|stall|throughput|structures|michael|service|chaos|all")
+	exp := flag.String("exp", "all", "experiment: matrix|space|scale|stall|throughput|structures|michael|service|chaos|adaptive|all")
 	shards := flag.Int("shards", 4, "shard count for the service experiment")
+	duration := flag.Duration("duration", 800*time.Millisecond, "traffic window for the adaptive experiment")
+	adaptiveJSON := flag.String("adaptive-json", "BENCH_adaptive.json",
+		"adaptive artifact path, written by the adaptive experiment (empty disables)")
 	k := flag.Int("k", 800, "churn length for space/matrix experiments")
 	ops := flag.Int("ops", 20000, "operations per thread for throughput experiments")
 	keyRange := flag.Int("keyrange", 1024, "key universe for throughput experiments")
@@ -48,7 +53,7 @@ func main() {
 	jsonPath := flag.String("json", "", "write throughput rows as a JSON benchmark artifact to this path")
 	flag.Parse()
 
-	exps := []string{"matrix", "space", "scale", "stall", "throughput", "structures", "michael", "service", "chaos", "all"}
+	exps := []string{"matrix", "space", "scale", "stall", "throughput", "structures", "michael", "service", "chaos", "adaptive", "all"}
 	known := false
 	for _, e := range exps {
 		known = known || e == *exp
@@ -99,6 +104,18 @@ func main() {
 			os.Exit(2)
 		}
 		jsonFile = f
+	}
+	// The adaptive experiment owns its own artifact (two arms plus an
+	// episode log do not fit throughput-shaped rows); create it up front
+	// for the same unwritable-path reason.
+	var adaptiveFile *os.File
+	if *adaptiveJSON != "" && want("adaptive") {
+		f, err := os.Create(*adaptiveJSON)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "erabench: %v\n", err)
+			os.Exit(2)
+		}
+		adaptiveFile = f
 	}
 
 	// Throughput-shaped rows accumulate here for the -json artifact.
@@ -243,6 +260,30 @@ func main() {
 				return err
 			}
 			bench.WriteChaosTable(os.Stdout, res)
+			return nil
+		})
+	}
+	if want("adaptive") {
+		run(fmt.Sprintf("EXP-ADAPT: static vs adaptive reclamation under delayed-release storm (%s window)", *duration), func() error {
+			// The canned A/B: both fleets start on ebr under the storm;
+			// the adaptive one carries the controller (ladder
+			// ebr→ibr→hp) and must migrate its way out.
+			res, err := bench.RunAdaptive(bench.AdaptiveConfig{Duration: *duration, Seed: *seed})
+			if err != nil {
+				return err
+			}
+			bench.WriteAdaptiveTable(os.Stdout, res)
+			if adaptiveFile != nil {
+				err := bench.WriteAdaptiveReport(adaptiveFile, res)
+				if cerr := adaptiveFile.Close(); err == nil {
+					err = cerr
+				}
+				adaptiveFile = nil
+				if err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", *adaptiveJSON)
+			}
 			return nil
 		})
 	}

@@ -4,11 +4,17 @@
 //
 //	eraserve -shards 8 -scheme hp -ds hashmap -workload zipfian
 //	eraserve -shards 4 -scheme hp,ebr -clients 16 -batch 32
+//	eraserve -shards 4 -duration 2s            # duration-boxed window
+//	eraserve -shards 4 -scheme ebr -adapt      # adaptive reclamation live
 //
 // -scheme takes a comma-separated list cycled across shards, so
 // heterogeneous deployments (the ERA trade-off made per shard: robust HP
 // where the backlog bound matters, cheap EBR elsewhere) are one flag
-// away. The measurement is written as a machine-readable artifact
+// away. -duration switches from op-boxed to a wall-clock window (the
+// long-lived demo shape); -adapt additionally runs the adaptive
+// reclamation controller over the store, escalating/de-escalating each
+// shard along -ladder as its live robustness verdicts demand. The
+// measurement is written as a machine-readable artifact
 // (BENCH_service.json by default; -json "" disables).
 package main
 
@@ -17,7 +23,9 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/bench"
 	"repro/internal/ds/registry"
 	"repro/internal/smr/all"
@@ -31,9 +39,14 @@ func main() {
 	dsName := flag.String("ds", "hashmap", "set structure per shard (ds/registry name)")
 	workers := flag.Int("workers", 1, "worker goroutines per shard")
 	clients := flag.Int("clients", 0, "closed-loop client goroutines (0 = 2×shards)")
-	ops := flag.Int("ops", 20000, "measured operations per client")
+	ops := flag.Int("ops", 20000, "measured operations per client (op-boxed mode)")
 	batch := flag.Int("batch", 16, "operations per service request")
 	keyRange := flag.Int("keyrange", 8192, "key universe size")
+	duration := flag.Duration("duration", 0,
+		"duration-boxed traffic window (0 = op-boxed via -ops; -adapt defaults this to 2s)")
+	adaptOn := flag.Bool("adapt", false, "run the adaptive-reclamation controller over the store")
+	ladder := flag.String("ladder", "ebr,ibr,hp",
+		"adaptive migration ladder, cheapest first (with -adapt)")
 	wl := flag.String("workload", "zipfian",
 		fmt.Sprintf("key distribution %v", workload.DistNames()))
 	mix := flag.String("mix", "steady",
@@ -74,6 +87,24 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	// -adapt implies a duration window (the controller needs a deadline
+	// to live inside) and validates its ladder up front.
+	var adaptCfg *adapt.Config
+	if *adaptOn {
+		if *duration <= 0 {
+			*duration = 2 * time.Second
+		}
+		rungs := strings.Split(*ladder, ",")
+		for _, r := range rungs {
+			if _, err := all.Props(r); err != nil {
+				fail(err)
+			}
+			if !registry.Applicable(r, info.Name) {
+				fail(fmt.Errorf("ladder rung %s is not applicable to %s (Appendix E)", r, info.Name))
+			}
+		}
+		adaptCfg = &adapt.Config{Ladder: rungs}
+	}
 	var jsonFile *os.File
 	if *jsonPath != "" {
 		f, err := os.Create(*jsonPath)
@@ -96,9 +127,18 @@ func main() {
 		Workload:        *wl,
 		Schedule:        *mix,
 		Seed:            *seed,
+		Duration:        *duration,
+		Adapt:           adaptCfg,
 	}
-	fmt.Printf("eraserve: %d shards (%s) × %s, workload %s/%s\n",
-		*shards, strings.Join(schemes, ","), info.Name, *wl, *mix)
+	mode := fmt.Sprintf("%d ops/client", *ops)
+	if *duration > 0 {
+		mode = fmt.Sprintf("%s window", *duration)
+		if adaptCfg != nil {
+			mode += fmt.Sprintf(", adaptive ladder %s", *ladder)
+		}
+	}
+	fmt.Printf("eraserve: %d shards (%s) × %s, workload %s/%s, %s\n",
+		*shards, strings.Join(schemes, ","), info.Name, *wl, *mix, mode)
 	res, err := bench.RunService(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "eraserve: %v\n", err)

@@ -119,13 +119,7 @@ func (cfg *ChaosConfig) fill() {
 		cfg.FaultAfter = cfg.Duration / 8
 	}
 	if cfg.SampleInterval <= 0 {
-		cfg.SampleInterval = cfg.Duration / 200
-		if cfg.SampleInterval < 200*time.Microsecond {
-			cfg.SampleInterval = 200 * time.Microsecond
-		}
-		if cfg.SampleInterval > 5*time.Millisecond {
-			cfg.SampleInterval = 5 * time.Millisecond
-		}
+		cfg.SampleInterval = sampleEvery(cfg.Duration)
 	}
 	if cfg.Mix == (Mix{}) {
 		cfg.Mix = MixBalanced
@@ -195,24 +189,26 @@ type ChaosResult struct {
 	Consistent bool `json:"consistent"`
 }
 
-// runChaosClients drives closed-loop clients until deadline, tolerating
-// per-operation errors (they are what faults look like from outside).
-// Returns total ops, op errors, and merged request latencies.
-func runChaosClients(st *store.Store, src *workload.Source, cfg ChaosConfig, deadline time.Time) (uint64, uint64, hist.Latency, error) {
+// runTimedClients drives closed-loop clients until deadline, tolerating
+// per-operation errors (they are what faults — and migration windows —
+// look like from outside). Returns total ops, op errors, and merged
+// request latencies. Shared by the chaos, adaptive, and duration-boxed
+// service experiments.
+func runTimedClients(st *store.Store, src *workload.Source, clients, batchSize int, deadline time.Time) (uint64, uint64, hist.Latency, error) {
 	var wg sync.WaitGroup
-	ops := make([]uint64, cfg.Clients)
-	errs := make([]uint64, cfg.Clients)
-	lats := make([]hist.Latency, cfg.Clients)
-	fail := make([]error, cfg.Clients)
-	for c := 0; c < cfg.Clients; c++ {
+	ops := make([]uint64, clients)
+	errs := make([]uint64, clients)
+	lats := make([]hist.Latency, clients)
+	fail := make([]error, clients)
+	for c := 0; c < clients; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
 			stream := src.Thread(c, 1<<20)
-			batch := make([]store.Op, 0, cfg.Batch)
+			batch := make([]store.Op, 0, batchSize)
 			for time.Now().Before(deadline) {
 				batch = batch[:0]
-				for len(batch) < cfg.Batch {
+				for len(batch) < batchSize {
 					kind, key := stream.Next()
 					batch = append(batch, store.Op{Kind: kind, Key: key})
 				}
@@ -237,7 +233,7 @@ func runChaosClients(st *store.Store, src *workload.Source, cfg ChaosConfig, dea
 	wg.Wait()
 	var lat hist.Latency
 	var totalOps, totalErrs uint64
-	for c := 0; c < cfg.Clients; c++ {
+	for c := 0; c < clients; c++ {
 		if fail[c] != nil {
 			return 0, 0, lat, fail[c]
 		}
@@ -287,40 +283,13 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 	}
 
 	// Prefill to half occupancy through the service, like any traffic.
-	pre := workload.RNG(cfg.Seed ^ 0xf00d)
-	batch := make([]store.Op, 0, cfg.Batch)
-	for i := 0; i < cfg.KeyRange/2; i++ {
-		batch = append(batch, store.Op{Kind: workload.OpInsert, Key: int64(pre.Next() % uint64(cfg.KeyRange))})
-		if len(batch) == cfg.Batch || i == cfg.KeyRange/2-1 {
-			res, err := st.Do(batch)
-			if err != nil {
-				return ChaosResult{}, err
-			}
-			for _, r := range res {
-				if r.Err != nil {
-					return ChaosResult{}, r.Err
-				}
-			}
-			batch = batch[:0]
-		}
+	if err := prefillHalf(st, cfg.KeyRange, cfg.Batch, cfg.Seed); err != nil {
+		return ChaosResult{}, err
 	}
 
 	sampler := telemetry.NewSampler(
 		telemetry.Config{Interval: cfg.SampleInterval, Capacity: 4096},
-		func() []telemetry.Point {
-			gs := st.Gauges()
-			pts := make([]telemetry.Point, len(gs))
-			for i, g := range gs {
-				pts[i] = telemetry.Point{
-					Ops:        g.Ops,
-					Retired:    g.Retired,
-					MaxRetired: g.MaxRetired,
-					Active:     g.Active,
-					MaxActive:  g.MaxActive,
-				}
-			}
-			return pts
-		})
+		storeProbe(st))
 
 	target := &chaos.Target{Store: st, Gates: gates, KeyRange: cfg.KeyRange}
 	engine := chaos.NewEngine(target)
@@ -357,7 +326,7 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 		}
 		engine.Stop()
 	}()
-	ops, opErrs, lat, err := runChaosClients(st, src, cfg, deadline)
+	ops, opErrs, lat, err := runTimedClients(st, src, cfg.Clients, cfg.Batch, deadline)
 	<-healed
 	elapsed := time.Since(start)
 	sampler.Stop()

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/chaos"
 )
 
@@ -70,21 +71,26 @@ func WriteScaleTable(w io.Writer, rows []ScaleRow) {
 }
 
 // WriteServiceTable renders the sharded-service measurement: the
-// per-shard breakdown, then the aggregate line.
+// per-shard breakdown (scheme = the shard's *current* scheme), the
+// adaptive migration log when there is one, then the aggregate lines.
 func WriteServiceTable(w io.Writer, res ServiceResult) {
-	fmt.Fprintf(w, "%-6s %-11s %12s %10s %10s %12s %8s %8s %9s\n",
-		"shard", "scheme", "ops", "Mops/s", "retired", "peak-retired", "faults", "unsafe", "restarts")
+	fmt.Fprintf(w, "%-6s %-11s %12s %10s %10s %12s %8s %8s %9s %6s\n",
+		"shard", "scheme", "ops", "Mops/s", "retired", "peak-retired", "faults", "unsafe", "restarts", "moves")
 	for _, r := range res.PerShard {
-		fmt.Fprintf(w, "%-6d %-11s %12d %10.3f %10d %12d %8d %8d %9d\n",
+		fmt.Fprintf(w, "%-6d %-11s %12d %10.3f %10d %12d %8d %8d %9d %6d\n",
 			r.Shard, r.Scheme, r.Ops, r.MopsPerSec, r.Retired, r.MaxRetired,
-			r.Faults, r.UnsafeAccesses, r.Restarts)
+			r.Faults, r.UnsafeAccesses, r.Restarts, r.Migrations)
 	}
+	writeEpisodes(w, res.Episodes)
 	a := res.Aggregate
 	fmt.Fprintf(w, "aggregate: %d shards × %d workers, %d clients × batch %d, %s %s/%s mix %s\n",
 		a.Shards, a.Workers, a.Clients, a.Batch, a.Structure, a.Workload, a.Schedule, a.Mix)
 	fmt.Fprintf(w, "           %d ops in %s = %.3f Mops/s, request p50 %s p99 %s, peak-retired %d, faults %d, restarts %d\n",
 		a.Ops, a.Elapsed.Round(time.Millisecond), a.MopsPerSec,
 		fmtLatency(a.P50), fmtLatency(a.P99), a.PeakRetired, a.Faults, a.Restarts)
+	if a.OpErrs > 0 || a.Migrations > 0 {
+		fmt.Fprintf(w, "           op-errors %d, migrations %d\n", a.OpErrs, a.Migrations)
+	}
 }
 
 // ServiceReport is the machine-readable sharded-service artifact (the
@@ -109,6 +115,78 @@ func ReadServiceReport(r io.Reader) (ServiceReport, error) {
 	var rep ServiceReport
 	if err := json.NewDecoder(r).Decode(&rep); err != nil {
 		return ServiceReport{}, fmt.Errorf("bench: malformed service artifact: %w", err)
+	}
+	return rep, nil
+}
+
+// writeEpisodes renders a migration episode log, one line per decision,
+// shared by the service and adaptive tables.
+func writeEpisodes(w io.Writer, eps []adapt.Episode) {
+	for _, ep := range eps {
+		line := fmt.Sprintf("migration: shard %d %s → %s at %s (%s)",
+			ep.Shard, ep.From, ep.To, ep.At.Round(time.Millisecond), ep.Reason)
+		if ep.Err != "" {
+			line += " FAILED: " + ep.Err
+		}
+		fmt.Fprintln(w, line)
+	}
+}
+
+// WriteAdaptiveTable renders the adaptive experiment: one line per arm,
+// the adaptive arm's migration episode log, its fault episodes, then the
+// headline.
+func WriteAdaptiveTable(w io.Writer, res AdaptiveResult) {
+	fmt.Fprintf(w, "%-9s %-7s %-7s %5s %-18s %-18s %13s %10s %8s %6s %10s\n",
+		"arm", "start", "final", "moves", "faulted-audited", "final-audited",
+		"peak-retired", "ops", "op-errs", "ooms", "p99")
+	for _, arm := range []AdaptiveArm{res.Static, res.Adaptive} {
+		fmt.Fprintf(w, "%-9s %-7s %-7s %5d %-18s %-18s %13d %10d %8d %6d %10s\n",
+			arm.Arm, arm.StartScheme, arm.FinalScheme, len(arm.Migrations),
+			arm.FaultedAudited+" ("+arm.FaultedGrowth+")", arm.FinalAudited+" ("+arm.FinalGrowth+")",
+			arm.PeakRetired, arm.Ops, arm.OpErrs, arm.OOMs, fmtLatency(arm.P99))
+	}
+	writeEpisodes(w, res.Adaptive.Migrations)
+	for _, ev := range res.Adaptive.Events {
+		fmt.Fprintf(w, "fault: %-16s shard %d at %s\n", ev.Fault, ev.Shard, ev.At.Round(time.Millisecond))
+	}
+	a := res.Agg
+	fmt.Fprintf(w, "aggregate: ladder %v from %s, faults %v, %s window, %d clients × batch %d, %s/%s mix %s seed %d\n",
+		a.Ladder, a.StartScheme, a.Faults, a.Duration, a.Clients, a.Batch,
+		a.Workload, a.Schedule, a.Mix, a.Seed)
+	fmt.Fprintf(w, "           adaptive improved on static: %v\n", res.Improved)
+}
+
+// AdaptiveReport is the machine-readable adaptive artifact (the
+// BENCH_adaptive.json file): both arms — migration episode log, fault
+// events, and evidence series included — under the same
+// experiment/trajectory convention as Report.
+type AdaptiveReport struct {
+	Experiment string            `json:"experiment"`
+	Static     AdaptiveArm       `json:"static"`
+	Adaptive   AdaptiveArm       `json:"adaptive"`
+	Aggregate  AdaptiveAggregate `json:"aggregate"`
+	Improved   bool              `json:"improved"`
+}
+
+// WriteAdaptiveReport emits the adaptive experiment as an indented JSON
+// benchmark artifact.
+func WriteAdaptiveReport(w io.Writer, res AdaptiveResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(AdaptiveReport{
+		Experiment: "adaptive",
+		Static:     res.Static,
+		Adaptive:   res.Adaptive,
+		Aggregate:  res.Agg,
+		Improved:   res.Improved,
+	})
+}
+
+// ReadAdaptiveReport parses an artifact written by WriteAdaptiveReport.
+func ReadAdaptiveReport(r io.Reader) (AdaptiveReport, error) {
+	var rep AdaptiveReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return AdaptiveReport{}, fmt.Errorf("bench: malformed adaptive artifact: %w", err)
 	}
 	return rep, nil
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/bench"
 	"repro/internal/workload"
 )
@@ -144,6 +145,80 @@ func TestServiceReportRoundTrip(t *testing.T) {
 		}
 	}
 	if _, err := bench.ReadServiceReport(strings.NewReader("{")); err == nil {
+		t.Error("truncated artifact accepted")
+	}
+}
+
+func sampleAdaptive() bench.AdaptiveResult {
+	return bench.AdaptiveResult{
+		Static: bench.AdaptiveArm{
+			Arm: "static", StartScheme: "ebr", FinalScheme: "ebr",
+			FaultedAudited: "not-robust", FaultedGrowth: "unbounded",
+			FinalAudited: "not-robust", FinalGrowth: "unbounded",
+			Migrations: []adapt.Episode{}, PeakRetired: 48211, Ops: 120000,
+		},
+		Adaptive: bench.AdaptiveArm{
+			Arm: "adaptive", StartScheme: "ebr", FinalScheme: "ibr",
+			FaultedAudited: "not-robust", FaultedGrowth: "unbounded",
+			FinalAudited: "robust", FinalGrowth: "bounded",
+			Migrations: []adapt.Episode{{
+				Shard: 0, From: "ebr", To: "ibr", At: 190 * time.Millisecond,
+				Audited: "not-robust", Reason: "escalate: audited not-robust over 2 windows",
+			}},
+			PeakRetired: 910, Ops: 310000, OpErrs: 4200,
+			P99: 55 * time.Microsecond,
+		},
+		Agg: bench.AdaptiveAggregate{
+			Ladder: []string{"ebr", "ibr", "hp"}, StartScheme: "ebr",
+			Structure: "hashmap", Faults: []string{"delayed-release"},
+			Workers: 2, Clients: 4, Batch: 16, KeyRange: 2048,
+			Duration: 800 * time.Millisecond, Mix: workload.MixBalanced,
+			Workload: "uniform", Schedule: "steady", Seed: 42,
+		},
+		Improved: true,
+	}
+}
+
+// TestWriteAdaptiveTable checks both arms, the migration log, and the
+// headline all render.
+func TestWriteAdaptiveTable(t *testing.T) {
+	var sb strings.Builder
+	bench.WriteAdaptiveTable(&sb, sampleAdaptive())
+	out := sb.String()
+	for _, want := range []string{"arm", "static", "adaptive", "ebr", "ibr",
+		"not-robust (unbounded)", "robust (bounded)",
+		"migration: shard 0 ebr → ibr at 190ms", "improved on static: true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("adaptive table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestAdaptiveReportRoundTrip checks the BENCH_adaptive.json artifact
+// survives write → read unchanged, migration episodes included.
+func TestAdaptiveReportRoundTrip(t *testing.T) {
+	res := sampleAdaptive()
+	var sb strings.Builder
+	if err := bench.WriteAdaptiveReport(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := bench.ReadAdaptiveReport(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Experiment != "adaptive" || !rep.Improved {
+		t.Fatalf("round-trip header: %+v", rep.Aggregate)
+	}
+	if !reflect.DeepEqual(rep.Static, res.Static) {
+		t.Errorf("static arm: got %+v want %+v", rep.Static, res.Static)
+	}
+	if !reflect.DeepEqual(rep.Adaptive, res.Adaptive) {
+		t.Errorf("adaptive arm: got %+v want %+v", rep.Adaptive, res.Adaptive)
+	}
+	if !reflect.DeepEqual(rep.Aggregate, res.Agg) {
+		t.Errorf("aggregate: got %+v want %+v", rep.Aggregate, res.Agg)
+	}
+	if _, err := bench.ReadAdaptiveReport(strings.NewReader("{")); err == nil {
 		t.Error("truncated artifact accepted")
 	}
 }

@@ -1,12 +1,16 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/hist"
+	"repro/internal/smr/all"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -45,6 +49,20 @@ type ServiceConfig struct {
 	Schedule string
 	// Seed makes every client stream deterministic.
 	Seed uint64
+	// Duration, when positive, switches the run from op-boxed to
+	// duration-boxed (the erachaos convention): clients batch until the
+	// deadline, OpsPerClient and the warmup are ignored, and
+	// per-operation errors are absorbed and counted instead of failing
+	// the run — a live migration's swap window surfaces as a transient
+	// ErrShardClosed, which is service behaviour, not harness failure.
+	Duration time.Duration
+	// Adapt, when non-nil, runs the adaptive-reclamation controller
+	// (internal/adapt) over the store for the window: a telemetry
+	// sampler feeds the online classifier, and shards whose scheme sits
+	// on the controller's ladder are escalated/de-escalated live.
+	// Requires Duration > 0 — an op-boxed run has no deadline for the
+	// control loop to live inside.
+	Adapt *adapt.Config
 }
 
 func (cfg *ServiceConfig) fill() {
@@ -82,7 +100,9 @@ func (cfg *ServiceConfig) fill() {
 // counters are cumulative over the shard's lifetime (prefill and warmup
 // included — backlog carries across phases).
 type ServiceShardRow struct {
-	Shard          int     `json:"shard"`
+	Shard int `json:"shard"`
+	// Scheme is the shard's scheme *at measurement end* — after a live
+	// migration it names the migrated-to scheme.
 	Scheme         string  `json:"scheme"`
 	Ops            uint64  `json:"ops"`
 	MopsPerSec     float64 `json:"mops_per_sec"`
@@ -91,6 +111,10 @@ type ServiceShardRow struct {
 	Faults         uint64  `json:"faults"`
 	UnsafeAccesses uint64  `json:"unsafe_accesses"`
 	Restarts       uint64  `json:"restarts"`
+	// Migrations and Epoch record the shard's swap history (adaptive
+	// runs; zero in static deployments).
+	Migrations uint64 `json:"migrations,omitempty"`
+	Epoch      uint64 `json:"epoch,omitempty"`
 }
 
 // ServiceRow is the aggregate service measurement. P50/P99 are
@@ -117,12 +141,20 @@ type ServiceRow struct {
 	Faults         uint64 `json:"faults"`
 	UnsafeAccesses uint64 `json:"unsafe_accesses"`
 	Restarts       uint64 `json:"restarts"`
+	// OpErrs counts tolerated per-operation errors (duration-boxed runs
+	// only; op-boxed runs fail on the first one).
+	OpErrs uint64 `json:"op_errs,omitempty"`
+	// Migrations totals the live scheme migrations across shards.
+	Migrations uint64 `json:"migrations,omitempty"`
 }
 
 // ServiceResult pairs the aggregate row with the per-shard breakdown.
 type ServiceResult struct {
 	Aggregate ServiceRow        `json:"aggregate"`
 	PerShard  []ServiceShardRow `json:"per_shard"`
+	// Episodes is the adaptive controller's migration log (adaptive runs
+	// only).
+	Episodes []adapt.Episode `json:"episodes,omitempty"`
 }
 
 // runClients drives every client through ops operations from src,
@@ -174,11 +206,107 @@ func runClients(st *store.Store, src *workload.Source, cfg ServiceConfig, ops in
 	return nil
 }
 
+// prefillHalf inserts ~KeyRange/2 random keys through the service, so
+// contains() hits about half the time — shared by every store-driving
+// experiment.
+func prefillHalf(st *store.Store, keyRange, batchSize int, seed uint64) error {
+	pre := workload.RNG(seed ^ 0xf00d)
+	batch := make([]store.Op, 0, batchSize)
+	for i := 0; i < keyRange/2; i++ {
+		batch = append(batch, store.Op{Kind: workload.OpInsert, Key: int64(pre.Next() % uint64(keyRange))})
+		if len(batch) == batchSize || i == keyRange/2-1 {
+			res, err := st.Do(batch)
+			if err != nil {
+				return err
+			}
+			for _, r := range res {
+				if r.Err != nil {
+					return r.Err
+				}
+			}
+			batch = batch[:0]
+		}
+	}
+	return nil
+}
+
+// storeProbe adapts a store's gauge tap into the telemetry sampler's
+// probe shape: point i is shard i — the domain-order convention the
+// Monitor and the adapt controller both rely on.
+func storeProbe(st *store.Store) telemetry.Probe {
+	return func() []telemetry.Point {
+		gs := st.Gauges()
+		pts := make([]telemetry.Point, len(gs))
+		for i, g := range gs {
+			pts[i] = telemetry.Point{
+				Ops:        g.Ops,
+				Retired:    g.Retired,
+				MaxRetired: g.MaxRetired,
+				Active:     g.Active,
+				MaxActive:  g.MaxActive,
+			}
+		}
+		return pts
+	}
+}
+
+// attachAdapt wires the adaptive-reclamation loop onto a serving store:
+// a gauge-tap sampler feeding the online classifier, and the controller
+// deciding on it. The monitor's domain i is shard i; budgets come from
+// the resolved shard specs. Returns the started sampler and controller.
+func attachAdapt(st *store.Store, acfg adapt.Config, interval time.Duration) (*telemetry.Sampler, *adapt.Controller, error) {
+	domains := make([]telemetry.Domain, st.Shards())
+	for s := range domains {
+		spec, err := st.Spec(s)
+		if err != nil {
+			return nil, nil, err
+		}
+		props, err := all.Props(spec.Scheme)
+		if err != nil {
+			return nil, nil, err
+		}
+		domains[s] = telemetry.Domain{
+			Scheme:   spec.Scheme,
+			Declared: props.Robustness,
+			Budget:   telemetry.Budget{Threads: spec.Workers, Threshold: spec.Threshold},
+		}
+	}
+	mon := telemetry.NewMonitor(telemetry.MonitorConfig{}, domains)
+	sampler := telemetry.NewSampler(
+		telemetry.Config{Interval: interval, Capacity: 4096, OnSample: mon.Observe},
+		storeProbe(st))
+	ctl, err := adapt.New(acfg, st, mon)
+	if err != nil {
+		return nil, nil, err
+	}
+	sampler.Start()
+	ctl.Start()
+	return sampler, ctl, nil
+}
+
+// sampleEvery derives a telemetry tick from a traffic window: ~200
+// samples per run, clamped to [200µs, 5ms].
+func sampleEvery(d time.Duration) time.Duration {
+	iv := d / 200
+	if iv < 200*time.Microsecond {
+		iv = 200 * time.Microsecond
+	}
+	if iv > 5*time.Millisecond {
+		iv = 5 * time.Millisecond
+	}
+	return iv
+}
+
 // RunService builds the sharded store, prefills it to half the key range,
-// runs the warmup and the timed closed-loop client phase, then drains the
-// store and assembles the rows.
+// runs the measured closed-loop client phase — op-boxed with warmup by
+// default, duration-boxed (optionally with the adaptive-reclamation
+// controller live) when Duration is set — then drains the store and
+// assembles the rows.
 func RunService(cfg ServiceConfig) (ServiceResult, error) {
 	cfg.fill()
+	if cfg.Adapt != nil && cfg.Duration <= 0 {
+		return ServiceResult{}, errors.New("bench: adaptive service runs need a Duration window")
+	}
 	specs := make([]store.ShardSpec, cfg.Shards)
 	for i := range specs {
 		specs[i] = store.ShardSpec{
@@ -203,46 +331,64 @@ func RunService(cfg ServiceConfig) (ServiceResult, error) {
 		return ServiceResult{}, err
 	}
 
-	// Prefill to half occupancy so contains() hits about half the time,
-	// batched through the service like any other traffic.
-	pre := workload.RNG(cfg.Seed ^ 0xf00d)
-	batch := make([]store.Op, 0, cfg.Batch)
-	for i := 0; i < cfg.KeyRange/2; i++ {
-		batch = append(batch, store.Op{Kind: workload.OpInsert, Key: int64(pre.Next() % uint64(cfg.KeyRange))})
-		if len(batch) == cfg.Batch || i == cfg.KeyRange/2-1 {
-			res, err := st.Do(batch)
+	if err := prefillHalf(st, cfg.KeyRange, cfg.Batch, cfg.Seed); err != nil {
+		return ServiceResult{}, err
+	}
+
+	var (
+		ops     uint64
+		opErrs  uint64
+		lat     hist.Latency
+		elapsed time.Duration
+		before  store.Stats
+		ctl     *adapt.Controller
+	)
+	if cfg.Duration > 0 {
+		// Duration-boxed: no warmup (the window owns its ramp), errors
+		// tolerated, optional adaptive controller live over the store.
+		var sampler *telemetry.Sampler
+		if cfg.Adapt != nil {
+			sampler, ctl, err = attachAdapt(st, *cfg.Adapt, sampleEvery(cfg.Duration))
 			if err != nil {
 				return ServiceResult{}, err
 			}
-			for _, r := range res {
-				if r.Err != nil {
-					return ServiceResult{}, r.Err
-				}
-			}
-			batch = batch[:0]
 		}
-	}
-
-	warmup := cfg.WarmupOpsPerClient
-	switch {
-	case warmup < 0:
-		warmup = 0
-	case warmup == 0:
-		warmup = cfg.OpsPerClient / 10
-	}
-	if warmup > 0 {
-		if err := runClients(st, src.Steady(cfg.Seed^0xbadcafe), cfg, warmup, nil); err != nil {
+		before = st.Stats()
+		start := time.Now()
+		ops, opErrs, lat, err = runTimedClients(st, src, cfg.Clients, cfg.Batch, start.Add(cfg.Duration))
+		elapsed = time.Since(start)
+		if ctl != nil {
+			ctl.Stop()
+			sampler.Stop()
+		}
+		if err != nil {
 			return ServiceResult{}, err
 		}
+	} else {
+		warmup := cfg.WarmupOpsPerClient
+		switch {
+		case warmup < 0:
+			warmup = 0
+		case warmup == 0:
+			warmup = cfg.OpsPerClient / 10
+		}
+		if warmup > 0 {
+			if err := runClients(st, src.Steady(cfg.Seed^0xbadcafe), cfg, warmup, nil); err != nil {
+				return ServiceResult{}, err
+			}
+		}
+		before = st.Stats()
+		lats := make([]hist.Latency, cfg.Clients)
+		start := time.Now()
+		if err := runClients(st, src, cfg, cfg.OpsPerClient, lats); err != nil {
+			return ServiceResult{}, err
+		}
+		elapsed = time.Since(start)
+		for i := range lats {
+			lat.Merge(&lats[i])
+		}
+		ops = uint64(cfg.Clients * cfg.OpsPerClient)
 	}
-
-	before := st.Stats()
-	lats := make([]hist.Latency, cfg.Clients)
-	start := time.Now()
-	if err := runClients(st, src, cfg, cfg.OpsPerClient, lats); err != nil {
-		return ServiceResult{}, err
-	}
-	elapsed := time.Since(start)
 
 	// Drain before the final read so Retired reflects the settled
 	// backlog, then build rows from the post-close counters.
@@ -251,12 +397,7 @@ func RunService(cfg ServiceConfig) (ServiceResult, error) {
 	}
 	after := st.Stats()
 
-	var lat hist.Latency
-	for i := range lats {
-		lat.Merge(&lats[i])
-	}
 	srcCfg := src.Config()
-	ops := cfg.Clients * cfg.OpsPerClient
 	agg := ServiceRow{
 		Shards:     cfg.Shards,
 		Schemes:    cfg.Schemes,
@@ -268,7 +409,7 @@ func RunService(cfg ServiceConfig) (ServiceResult, error) {
 		Workload:   srcCfg.Dist,
 		Schedule:   srcCfg.Schedule,
 		KeyRange:   cfg.KeyRange,
-		Ops:        ops,
+		Ops:        int(ops),
 		Elapsed:    elapsed,
 		MopsPerSec: float64(ops) / elapsed.Seconds() / 1e6,
 		P50:        lat.Percentile(0.50),
@@ -278,10 +419,18 @@ func RunService(cfg ServiceConfig) (ServiceResult, error) {
 		Faults:         after.Faults,
 		UnsafeAccesses: after.UnsafeAccesses,
 		Restarts:       after.Restarts,
+		OpErrs:         opErrs,
+		Migrations:     after.Migrations,
 	}
 	rows := make([]ServiceShardRow, cfg.Shards)
 	for i, sh := range after.Shards {
-		measured := sh.Ops - before.Shards[i].Ops
+		measured := sh.Ops
+		// A migrated shard restarted its counters mid-window; its
+		// current count *is* the post-swap measurement, while an
+		// unswapped shard subtracts the pre-window baseline as before.
+		if sh.Epoch == before.Shards[i].Epoch {
+			measured = sh.Ops - before.Shards[i].Ops
+		}
 		rows[i] = ServiceShardRow{
 			Shard:          sh.Shard,
 			Scheme:         sh.Scheme,
@@ -292,7 +441,13 @@ func RunService(cfg ServiceConfig) (ServiceResult, error) {
 			Faults:         sh.Faults,
 			UnsafeAccesses: sh.UnsafeAccesses,
 			Restarts:       sh.Restarts,
+			Migrations:     sh.Migrations,
+			Epoch:          sh.Epoch,
 		}
 	}
-	return ServiceResult{Aggregate: agg, PerShard: rows}, nil
+	res := ServiceResult{Aggregate: agg, PerShard: rows}
+	if ctl != nil {
+		res.Episodes = ctl.Episodes()
+	}
+	return res, nil
 }

@@ -1,6 +1,9 @@
 package bench_test
 
 import (
+	"time"
+
+	"repro/internal/adapt"
 	"testing"
 
 	"repro/internal/bench"
@@ -58,5 +61,90 @@ func TestRunServiceHeterogeneous(t *testing.T) {
 func TestRunServiceRejectsBadScheme(t *testing.T) {
 	if _, err := bench.RunService(bench.ServiceConfig{Schemes: []string{"nope"}}); err == nil {
 		t.Fatal("unknown scheme accepted")
+	}
+}
+
+// TestRunServiceDurationBoxed checks the -duration mode: clients run
+// until the deadline (no warmup, op errors tolerated), the elapsed time
+// tracks the window, and accounting stays coherent.
+func TestRunServiceDurationBoxed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("duration-boxed run needs a real traffic window")
+	}
+	res, err := bench.RunService(bench.ServiceConfig{
+		Shards:    2,
+		Schemes:   []string{"ebr"},
+		Structure: "michael",
+		Clients:   2,
+		Batch:     8,
+		KeyRange:  256,
+		Duration:  120 * time.Millisecond,
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Aggregate
+	if a.Ops == 0 {
+		t.Fatal("duration-boxed run made no progress")
+	}
+	if a.Elapsed < 120*time.Millisecond {
+		t.Fatalf("elapsed %v shorter than the window", a.Elapsed)
+	}
+	if a.OpErrs != 0 {
+		t.Fatalf("healthy duration run produced %d op errors", a.OpErrs)
+	}
+	var shardOps uint64
+	for _, r := range res.PerShard {
+		shardOps += r.Ops
+		if r.Migrations != 0 || r.Epoch != 0 {
+			t.Fatalf("static duration run migrated: %+v", r)
+		}
+	}
+	if shardOps != uint64(a.Ops) {
+		t.Fatalf("shard ops sum %d != aggregate %d", shardOps, a.Ops)
+	}
+}
+
+// TestRunServiceAdaptRequiresDuration checks the guard: the adaptive
+// controller needs a deadline to live inside.
+func TestRunServiceAdaptRequiresDuration(t *testing.T) {
+	_, err := bench.RunService(bench.ServiceConfig{Adapt: &adapt.Config{}})
+	if err == nil {
+		t.Fatal("op-boxed adaptive run accepted")
+	}
+}
+
+// TestRunServiceAdaptiveHealthy runs the adaptive service mode over
+// healthy traffic: the controller must hold position (no pressure, no
+// migrations) while the run completes and reports normally.
+func TestRunServiceAdaptiveHealthy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("duration-boxed run needs a real traffic window")
+	}
+	res, err := bench.RunService(bench.ServiceConfig{
+		Shards:    2,
+		Schemes:   []string{"ebr"},
+		Structure: "hashmap",
+		Clients:   2,
+		Batch:     8,
+		KeyRange:  256,
+		Duration:  150 * time.Millisecond,
+		Adapt:     &adapt.Config{Interval: 10 * time.Millisecond},
+		Seed:      5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aggregate.Ops == 0 {
+		t.Fatal("adaptive service run made no progress")
+	}
+	if len(res.Episodes) != 0 || res.Aggregate.Migrations != 0 {
+		t.Fatalf("healthy traffic triggered migrations: %+v", res.Episodes)
+	}
+	for _, r := range res.PerShard {
+		if r.Scheme != "ebr" {
+			t.Fatalf("healthy shard moved off ebr: %+v", r)
+		}
 	}
 }

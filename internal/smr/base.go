@@ -39,6 +39,14 @@ func (b *Base) Heap() *mem.Arena { return b.Arena }
 
 // PushRetired appends r to tid's retire list and reports whether the list
 // reached the scan threshold.
+//
+// Deliberately "every push past the threshold", not an amortized "every
+// Threshold-th push": a thread can stall *inside* one operation for a
+// long stretch (a parked worker, or a traversal riding a restart storm),
+// pinning epoch-style reclamation meanwhile, and the eager re-scan is
+// what collapses the accumulated backlog the instant the pin lifts. An
+// amortized trigger was tried and measured: it lets the backlog of such
+// an episode run a shard heap dry before the next scan comes due.
 func (b *Base) PushRetired(tid int, r mem.Ref) bool {
 	l := &b.Lists[tid]
 	l.Refs = append(l.Refs, r)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/ds"
 	"repro/internal/mem"
@@ -40,6 +41,11 @@ type shard struct {
 	arena  *mem.Arena
 	scheme smr.Scheme
 	set    ds.Set
+	// maint is the reserved maintenance scheme tid (== spec.Workers):
+	// drain, migration snapshot, and replay run on it, so they never
+	// collide with a worker tid — not even with a faulted worker that
+	// never drained.
+	maint int
 
 	reqs chan *request
 	wg   sync.WaitGroup
@@ -81,15 +87,103 @@ func (sh *shard) worker(tid int) {
 	}
 }
 
-// drain flushes every worker's retire list a few rounds after the workers
-// have exited, letting epoch-style schemes advance past the last
-// operations and reclaim the settled backlog.
+// opCount sums the shard's op stripes — the progress signal await's
+// bounded mode watches.
+func (sh *shard) opCount() uint64 {
+	var n uint64
+	for i := range sh.stripes {
+		n += sh.stripes[i].ops.Load()
+	}
+	return n
+}
+
+// await waits for the shard's workers to exit after the request queue
+// closed. grace <= 0 waits indefinitely. A positive grace bounds only
+// *stalls*, not work: as long as the workers keep completing operations
+// the wait continues (the queue is closed and bounded, so live workers
+// finish in finite time — giving up on a merely busy shard would let a
+// snapshot race in-flight writes). Only when a full grace window passes
+// with zero operation progress are the remaining workers declared
+// parked — a worker stopped at a fault breakpoint holds its tid until
+// the fault heals, which may be never — and await reports false.
+func (sh *shard) await(grace time.Duration) bool {
+	if grace <= 0 {
+		sh.wg.Wait()
+		return true
+	}
+	done := make(chan struct{})
+	go func() {
+		sh.wg.Wait()
+		close(done)
+	}()
+	last := sh.opCount()
+	for {
+		select {
+		case <-done:
+			return true
+		case <-time.After(grace):
+			cur := sh.opCount()
+			if cur == last {
+				return false
+			}
+			last = cur
+		}
+	}
+}
+
+// teardown stops a shard that was never (or is no longer) installed in
+// the store: close the queue, wait the workers out.
+func (sh *shard) teardown() {
+	close(sh.reqs)
+	sh.wg.Wait()
+}
+
+// drain flushes every retire list — the workers' and the maintenance
+// tid's — a few rounds after the workers have exited, letting
+// epoch-style schemes advance past the last operations and reclaim the
+// settled backlog. Quiescent use only: every worker must have exited.
 func (sh *shard) drain() {
 	for round := 0; round < 3; round++ {
-		for tid := 0; tid < sh.spec.Workers; tid++ {
+		for tid := 0; tid <= sh.spec.Workers; tid++ {
 			sh.scheme.Flush(tid)
 		}
 	}
+}
+
+// snapshot reads the shard's current set contents by scanning the
+// store's key universe through the set itself, on the maintenance tid.
+// Going through the operation API (rather than raw structure walks)
+// keeps the scan safe even when a faulted worker never drained: a
+// concurrent straggler and the scan are just two lock-free operations.
+func (sh *shard) snapshot(keyRange int, route func(int64) int) ([]int64, error) {
+	var keys []int64
+	for k := int64(0); k < int64(keyRange); k++ {
+		if route(k) != sh.id {
+			continue
+		}
+		ok, err := sh.set.Contains(sh.maint, k)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			keys = append(keys, k)
+		}
+	}
+	return keys, nil
+}
+
+// replay inserts a snapshot into the shard before it starts serving
+// (the workers are idle until the shard is attached, so the maintenance
+// tid has the structure to itself). Replayed inserts do not count as
+// service operations: the op stripes stay at zero, which is also what
+// signals the telemetry monitor that a new incarnation began.
+func (sh *shard) replay(keys []int64) error {
+	for _, k := range keys {
+		if _, err := sh.set.Insert(sh.maint, k); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // gauges reads the shard's telemetry tap: arena level gauges and

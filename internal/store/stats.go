@@ -6,10 +6,19 @@ package store
 // belongs to the driver, which differences snapshots around its timed
 // window.
 type ShardStats struct {
-	Shard     int    `json:"shard"`
+	Shard int `json:"shard"`
+	// Scheme is the shard's *current* reclamation scheme, read from the
+	// live scheme instance — after a MigrateShard swap it names the
+	// migrated-to scheme, not the spec the shard was deployed with.
 	Scheme    string `json:"scheme"`
 	Structure string `json:"structure"`
 	Workers   int    `json:"workers"`
+	// Epoch counts the slot's incarnations (0 = original build; each
+	// reopen or migration swap increments it); Migrations counts
+	// completed live scheme migrations. Counters above this line reset
+	// with each incarnation, so an Epoch bump explains an Ops regression.
+	Epoch      uint64 `json:"epoch"`
+	Migrations uint64 `json:"migrations"`
 
 	// Service counters (striped per worker, summed here).
 	Ops  uint64 `json:"ops"`
@@ -54,19 +63,25 @@ type Stats struct {
 	OOMs           uint64 `json:"ooms"`
 	Restarts       uint64 `json:"restarts"`
 	StaleUses      uint64 `json:"stale_uses"`
+	Migrations     uint64 `json:"migrations"`
 }
 
 // Stats aggregates every shard's counters on read. Safe to call while
 // the store serves; counters are individually atomic, so the snapshot has
 // the usual mid-run slack and is exact at quiescence. The read lock
-// orders the shard-slice read against ReopenShard's swap.
+// orders the shard-slice read against reopen/migration swaps, so every
+// row is internally consistent: a row describes exactly one incarnation
+// (its Scheme, Epoch, and counters all belong together), never a blend
+// of the outgoing and incoming shard.
 func (st *Store) Stats() Stats {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	var s Stats
 	s.Shards = make([]ShardStats, 0, len(st.shards))
-	for _, sh := range st.shards {
+	for i, sh := range st.shards {
 		ss := sh.stats()
+		ss.Epoch = st.meta[i].epoch
+		ss.Migrations = st.meta[i].migrations
 		s.Shards = append(s.Shards, ss)
 		s.Ops += ss.Ops
 		s.Hits += ss.Hits
@@ -80,6 +95,7 @@ func (st *Store) Stats() Stats {
 		s.OOMs += ss.OOMs
 		s.Restarts += ss.Restarts
 		s.StaleUses += ss.StaleUses
+		s.Migrations += ss.Migrations
 	}
 	return s
 }

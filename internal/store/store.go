@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/ds"
 	"repro/internal/ds/registry"
@@ -73,12 +74,25 @@ type Config struct {
 	// case. Must be non-empty.
 	Shards []ShardSpec
 	// KeyRange is the key universe [0, KeyRange) the store is expected to
-	// serve; it sizes the default per-shard heap. 0 selects 1024.
+	// serve; it sizes the default per-shard heap, and it is the universe
+	// MigrateShard's snapshot scans — keys outside it survive a migration
+	// only by accident. 0 selects 1024.
 	KeyRange int
 	// QueueDepth is the per-shard request-queue capacity (how many
 	// batches may wait on a busy shard before submitters block). 0
 	// selects 64.
 	QueueDepth int
+	// MigrateGrace bounds how long MigrateShard tolerates a *stalled*
+	// drain: workers that keep completing operations are always waited
+	// out (the queue is closed and bounded, so a merely busy shard
+	// drains fully and its snapshot is exact), but once a full grace
+	// window passes with zero operation progress the stragglers are
+	// declared parked and the migration proceeds without them. A worker
+	// parked at a fault breakpoint never exits on its own — robustness
+	// faults are exactly threads that do not resume — so a bounded
+	// stall wait is what keeps migration a remedy that works *during*
+	// the fault it remedies. 0 selects 100ms.
+	MigrateGrace time.Duration
 }
 
 // Uniform returns n copies of spec — the homogeneous deployment.
@@ -105,13 +119,26 @@ type Result struct {
 	Err error
 }
 
+// shardMeta is the slot-level history that survives shard replacement:
+// the shard objects come and go across reopen/migrate swaps, the meta
+// stays with the slot. Guarded by the store's mu.
+type shardMeta struct {
+	// epoch counts the slot's incarnations: 0 for the original build,
+	// +1 per reopen or migration swap.
+	epoch uint64
+	// migrations counts completed live scheme migrations.
+	migrations uint64
+}
+
 // Store is the sharded service frontend. All methods are safe for
 // concurrent use.
 type Store struct {
 	shards   []*shard
 	keyRange int
+	// meta holds per-slot swap history (epochs, migration counts).
+	meta []shardMeta
 	// cfg is the defaults-filled construction config, kept so closed
-	// shards can be rebuilt (ReopenShard).
+	// shards can be rebuilt (ReopenShard, MigrateShard).
 	cfg Config
 
 	// mu orders submissions against shard/store close: submitters hold it
@@ -134,7 +161,10 @@ func New(cfg Config) (*Store, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 64
 	}
-	st := &Store{keyRange: cfg.KeyRange, cfg: cfg}
+	if cfg.MigrateGrace <= 0 {
+		cfg.MigrateGrace = 100 * time.Millisecond
+	}
+	st := &Store{keyRange: cfg.KeyRange, cfg: cfg, meta: make([]shardMeta, len(cfg.Shards))}
 	for i, spec := range cfg.Shards {
 		sh, err := newShard(i, spec, cfg)
 		if err != nil {
@@ -168,14 +198,29 @@ func newShard(id int, spec ShardSpec, cfg Config) (*shard, error) {
 		// every reclaiming scheme.
 		spec.Slots = 2*cfg.KeyRange/len(cfg.Shards) + 4096 + 64*spec.Workers
 	}
+	if spec.Threshold <= 0 {
+		// Resolve the scheme-default scan threshold (smr.NewBase: 2 ×
+		// threads × 8) into the spec, so Spec() — and the telemetry
+		// budgets built from it — report the value the scheme actually
+		// runs with. The scheme sees the same number either way.
+		spec.Threshold = 2 * (spec.Workers + 1) * 8
+	}
+	// One scheme thread beyond the worker pool: the maintenance tid,
+	// reserved for the shard's own drain/snapshot/replay machinery. It is
+	// never driven concurrently with itself, and because it is not a
+	// worker tid it stays usable even when a faulted worker never drains
+	// (a parked worker owns its tid forever). Idle scheme threads are
+	// free: an inactive announcement pins no epoch, an empty hazard slot
+	// protects nothing.
+	threads := spec.Workers + 1
 	a := mem.NewArena(mem.Config{
 		Slots:        spec.Slots,
 		PayloadWords: info.PayloadWords,
 		MetaWords:    smr.MetaWords,
-		Threads:      spec.Workers,
+		Threads:      threads,
 		Mode:         mem.Reuse,
 	})
-	s, err := all.New(spec.Scheme, a, spec.Workers, spec.Threshold)
+	s, err := all.New(spec.Scheme, a, threads, spec.Threshold)
 	if err != nil {
 		return nil, err
 	}
@@ -189,6 +234,7 @@ func newShard(id int, spec ShardSpec, cfg Config) (*shard, error) {
 		arena:   a,
 		scheme:  s,
 		set:     set,
+		maint:   spec.Workers,
 		reqs:    make(chan *request, cfg.QueueDepth),
 		stripes: make([]opStripe, spec.Workers),
 	}
@@ -280,6 +326,58 @@ func (st *Store) Insert(key int64) (bool, error) { return st.do1(workload.OpInse
 // Delete removes key; false if absent.
 func (st *Store) Delete(key int64) (bool, error) { return st.do1(workload.OpDelete, key) }
 
+// detachShard is the front half of every shard swap: it stops new
+// submissions to shard s (they start failing with ErrShardClosed) and
+// closes the request queue so the workers drain what is already queued
+// and exit. The caller decides how long to wait for that exit
+// (shard.await) and what to install in the slot afterwards
+// (attachShard), which is what lets CloseShard, ReopenShard, and
+// MigrateShard share one drain core.
+func (st *Store) detachShard(s int) (*shard, error) {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return nil, ErrClosed
+	}
+	sh := st.shards[s]
+	if sh.closed {
+		st.mu.Unlock()
+		return nil, ErrShardClosed
+	}
+	sh.closed = true
+	st.mu.Unlock()
+	// No submitter can reach the queue anymore (they re-check the flag
+	// under mu), so closing lets the workers drain what's left and exit.
+	close(sh.reqs)
+	return sh, nil
+}
+
+// attachShard is the back half of a swap: it installs repl as shard s,
+// atomically under the exclusive lock, provided the slot still holds the
+// shard the caller detached (a concurrent reopen may have raced the
+// rebuild; the loser is torn down, not leaked). The slot's epoch always
+// advances; migrated additionally bumps the migration count.
+func (st *Store) attachShard(s int, old, repl *shard, migrated bool) error {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		repl.teardown()
+		return ErrClosed
+	}
+	if st.shards[s] != old {
+		st.mu.Unlock()
+		repl.teardown()
+		return fmt.Errorf("store: shard %d was swapped concurrently", s)
+	}
+	st.shards[s] = repl
+	st.meta[s].epoch++
+	if migrated {
+		st.meta[s].migrations++
+	}
+	st.mu.Unlock()
+	return nil
+}
+
 // CloseShard drains one shard: new operations routed to it start failing
 // with ErrShardClosed, every batch already queued completes, and the
 // shard's retire lists are flushed so its backlog settles. The rest of
@@ -288,22 +386,11 @@ func (st *Store) CloseShard(s int) error {
 	if s < 0 || s >= len(st.shards) {
 		return fmt.Errorf("store: no shard %d", s)
 	}
-	st.mu.Lock()
-	if st.closed {
-		st.mu.Unlock()
-		return ErrClosed
+	sh, err := st.detachShard(s)
+	if err != nil {
+		return err
 	}
-	sh := st.shards[s]
-	if sh.closed {
-		st.mu.Unlock()
-		return ErrShardClosed
-	}
-	sh.closed = true
-	st.mu.Unlock()
-	// No submitter can reach the queue anymore (they re-check the flag
-	// under mu), so closing lets the workers drain what's left and exit.
-	close(sh.reqs)
-	sh.wg.Wait()
+	sh.await(0)
 	sh.drain()
 	return nil
 }
@@ -317,20 +404,102 @@ func (st *Store) ReopenShard(s int) error {
 	if s < 0 || s >= len(st.shards) {
 		return fmt.Errorf("store: no shard %d", s)
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
+	st.mu.RLock()
 	if st.closed {
+		st.mu.RUnlock()
 		return ErrClosed
 	}
 	old := st.shards[s]
-	if !old.closed {
+	// Read the flag under the lock (detachShard writes it under the
+	// exclusive lock). It only ever transitions false→true on a given
+	// shard object — swaps install a new object — so once observed true
+	// here it stays true through the rebuild below.
+	closed := old.closed
+	st.mu.RUnlock()
+	if !closed {
 		return fmt.Errorf("store: shard %d is open", s)
 	}
 	sh, err := newShard(s, old.spec, st.cfg)
 	if err != nil {
 		return fmt.Errorf("store: reopen shard %d: %w", s, err)
 	}
-	st.shards[s] = sh
+	if err := st.attachShard(s, old, sh, false); err != nil {
+		return fmt.Errorf("store: reopen shard %d: %w", s, err)
+	}
+	return nil
+}
+
+// MigrateShard live-migrates shard s onto a different reclamation
+// scheme: it stops admissions, drains the in-flight batches, snapshots
+// the shard's set contents, rebuilds heap + structure + SMR domain under
+// the new scheme, replays the snapshot, and atomically swaps the rebuilt
+// shard in. Operations routed to the shard while the swap is in flight
+// fail with ErrShardClosed — the same transient clients already absorb
+// across churn — and the rest of the store serves throughout. Migrating
+// a shard to its current scheme is allowed: that is a restart that keeps
+// the data.
+//
+// A worker parked at a fault breakpoint cannot be drained — a robustness
+// fault is precisely a thread that does not resume — so after
+// Config.MigrateGrace the migration proceeds without the straggler. The
+// straggler keeps its tid on the *orphaned* incarnation: when (if) it
+// resumes it completes its one in-flight batch against the old heap and
+// exits, the client unblocks, and any effect of that batch stays behind
+// on memory the store no longer serves. That is restart semantics for
+// the stuck thread, bounded migration latency for everyone else — and it
+// is exactly why escalating a shard off a non-robust scheme is possible
+// *during* the stall that made escalation necessary.
+//
+// On a snapshot or rebuild failure the shard is left closed (ReopenShard
+// recovers it, cold); the error reports which.
+func (st *Store) MigrateShard(s int, scheme string) error {
+	if s < 0 || s >= len(st.shards) {
+		return fmt.Errorf("store: no shard %d", s)
+	}
+	// Validate the target before touching the shard: a typo'd scheme must
+	// not leave the shard closed.
+	if _, err := all.Props(scheme); err != nil {
+		return err
+	}
+	spec, err := st.Spec(s)
+	if err != nil {
+		return err
+	}
+	info, err := registry.Get(spec.Structure)
+	if err != nil {
+		return err
+	}
+	if !registry.Applicable(scheme, info.Name) {
+		return fmt.Errorf("store: migrate shard %d: scheme %s is not applicable to %s (Appendix E)", s, scheme, info.Name)
+	}
+	old, err := st.detachShard(s)
+	if err != nil {
+		return err
+	}
+	if clean := old.await(st.cfg.MigrateGrace); clean {
+		// Fully quiesced: settle the backlog so the snapshot reads a
+		// drained structure. With a straggler parked mid-operation the
+		// flush is skipped — its tid is not ours to drive, and the old
+		// heap is about to be orphaned wholesale anyway.
+		old.drain()
+	}
+	keys, err := old.snapshot(st.keyRange, st.shardOf)
+	if err != nil {
+		return fmt.Errorf("store: migrate shard %d: snapshot: %w (shard left closed)", s, err)
+	}
+	nspec := old.spec
+	nspec.Scheme = scheme
+	repl, err := newShard(s, nspec, st.cfg)
+	if err != nil {
+		return fmt.Errorf("store: migrate shard %d: rebuild: %w (shard left closed)", s, err)
+	}
+	if err := repl.replay(keys); err != nil {
+		repl.teardown()
+		return fmt.Errorf("store: migrate shard %d: replay: %w (shard left closed)", s, err)
+	}
+	if err := st.attachShard(s, old, repl, true); err != nil {
+		return fmt.Errorf("store: migrate shard %d: %w", s, err)
+	}
 	return nil
 }
 
@@ -365,7 +534,7 @@ func (st *Store) Close() error {
 		close(sh.reqs)
 	}
 	for _, sh := range open {
-		sh.wg.Wait()
+		sh.await(0)
 		sh.drain()
 	}
 	return nil

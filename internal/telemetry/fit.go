@@ -94,53 +94,14 @@ const minFitSamples = 4
 // between the two regimes.
 const slopeEps = 0.02
 
-// FitPoints fits the backlog growth over points (oldest-first) against
-// budget. Points before the window of interest — e.g. before a fault was
-// injected — should be trimmed by the caller; FitWindow does that.
-//
-// An Ops regression inside the window marks a domain restart (a churned
-// shard reopened with fresh counters); the fit covers only the points
-// before the reset, since later points describe a different incarnation.
-func FitPoints(points []Point, budget Budget) Fit {
-	for i := 1; i < len(points); i++ {
-		if points[i].Ops < points[i-1].Ops {
-			points = points[:i]
-			break
-		}
-	}
-	f := Fit{Samples: len(points)}
-	if len(points) == 0 {
-		f.Growth = GrowthBounded
-		f.GrowthName = f.Growth.String()
-		return f
-	}
-	first, last := points[0], points[len(points)-1]
-	if last.Ops >= first.Ops {
-		f.Ops = last.Ops - first.Ops
-	}
-	// Least-squares slope of retired against ops, and the window mean.
-	var sx, sy, sxx, sxy float64
-	for _, p := range points {
-		x := float64(p.Ops)
-		y := float64(p.Retired)
-		sx += x
-		sy += y
-		sxx += x * x
-		sxy += x * y
-		if p.Retired > f.PeakRetired {
-			f.PeakRetired = p.Retired
-		}
-	}
-	n := float64(len(points))
-	f.Plateau = sy / n
-	if det := n*sxx - sx*sx; det > 0 {
-		f.Slope = (n*sxy - sx*sy) / det
-	}
+// classify fills Growth from the fitted numbers plus the window's
+// endpoint, midpoint, and final points — the one rule set shared by the
+// batch fit (FitPoints) and the incremental one (WindowFit).
+func (f *Fit) classify(first, mid, last Point, budget Budget) {
 	// Unbounded growth must be *sustained*: still climbing across the
 	// window's second half. A weakly-robust scheme's backlog rises to its
 	// plateau right after a fault lands — that rise can tilt the
 	// least-squares slope, but its tail is flat.
-	mid := points[len(points)/2]
 	tailGrowth := float64(last.Retired) - float64(mid.Retired)
 	growth := float64(last.Retired) - float64(first.Retired)
 	// An unbounded verdict must also outgrow the weakly-robust *scale*:
@@ -152,7 +113,7 @@ func FitPoints(points []Point, budget Budget) Fit {
 	// not report max_active the gate falls away.
 	maxActiveScale := 2 * float64(last.MaxActive)
 	switch {
-	case len(points) >= minFitSamples && f.Ops > 0 && f.Slope > slopeEps &&
+	case f.Samples >= minFitSamples && f.Ops > 0 && f.Slope > slopeEps &&
 		growth > budget.robustPlateau() &&
 		growth > maxActiveScale &&
 		tailGrowth > budget.robustPlateau()/2:
@@ -166,7 +127,32 @@ func FitPoints(points []Point, budget Budget) Fit {
 		f.Growth = GrowthBounded
 	}
 	f.GrowthName = f.Growth.String()
-	return f
+}
+
+// FitPoints fits the backlog growth over points (oldest-first) against
+// budget. Points before the window of interest — e.g. before a fault was
+// injected — should be trimmed by the caller; FitWindow does that.
+//
+// An Ops regression inside the window marks a domain restart (a churned
+// shard reopened with fresh counters, or a migrated shard swapped in);
+// the fit covers only the points before the reset, since later points
+// describe a different incarnation.
+//
+// FitPoints is the batch face of the incremental WindowFit: the points
+// are streamed through a window sized to hold them all, so both paths
+// compute identical sums and share one classification rule set.
+func FitPoints(points []Point, budget Budget) Fit {
+	for i := 1; i < len(points); i++ {
+		if points[i].Ops < points[i-1].Ops {
+			points = points[:i]
+			break
+		}
+	}
+	w := NewWindowFit(len(points))
+	for _, p := range points {
+		w.Push(p)
+	}
+	return w.Fit(budget)
 }
 
 // FitWindow trims points to those at or after from (sampler-relative
@@ -234,6 +220,10 @@ func (v Verdict) AuditedClass() smr.RobustnessClass { return v.audited }
 // Consistent reports that the audit did not contradict the declaration.
 func (v Verdict) Consistent() bool { return v.outcome != Violated }
 
+// Inconclusive reports that the window held too little evidence to
+// classify — controllers must not act on an inconclusive verdict.
+func (v Verdict) Inconclusive() bool { return v.outcome == Inconclusive }
+
 // String renders the verdict as one line.
 func (v Verdict) String() string {
 	return fmt.Sprintf("%-10s declared %-13s audited %-13s (slope %.4f/op, plateau %.0f) %s",
@@ -251,11 +241,9 @@ func auditedClass(g GrowthClass) smr.RobustnessClass {
 	return smr.NotRobust
 }
 
-// Audit fits the window and relates the audited class to the declared
-// one. from trims the points to the faulted portion of the run
-// (sampler-relative elapsed; 0 keeps everything).
-func Audit(scheme string, declared smr.RobustnessClass, points []Point, from time.Duration, budget Budget) Verdict {
-	fit := FitWindow(points, from, budget)
+// NewVerdict relates an already-computed fit to a declared class — the
+// shared back half of the batch Audit and the Monitor's live verdicts.
+func NewVerdict(scheme string, declared smr.RobustnessClass, fit Fit) Verdict {
 	v := Verdict{
 		Scheme:   scheme,
 		Declared: declared.String(),
@@ -278,6 +266,13 @@ func Audit(scheme string, declared smr.RobustnessClass, points []Point, from tim
 	}
 	v.Outcome = v.outcome.String()
 	return v
+}
+
+// Audit fits the window and relates the audited class to the declared
+// one. from trims the points to the faulted portion of the run
+// (sampler-relative elapsed; 0 keeps everything).
+func Audit(scheme string, declared smr.RobustnessClass, points []Point, from time.Duration, budget Budget) Verdict {
+	return NewVerdict(scheme, declared, FitWindow(points, from, budget))
 }
 
 // NaN-proofing for JSON: a fit over a degenerate window can in principle

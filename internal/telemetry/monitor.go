@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"sync"
+
+	"repro/internal/smr"
+)
+
+// Domain describes one monitored domain (typically one store shard) for
+// the online classifier: which scheme currently serves it, what that
+// scheme declares, and what "bounded" means for it.
+type Domain struct {
+	// Scheme is the domain's current reclamation scheme name.
+	Scheme string
+	// Declared is the scheme's claimed RobustnessClass.
+	Declared smr.RobustnessClass
+	// Budget frames the domain's fit (workers × retire-scan threshold).
+	Budget Budget
+}
+
+// MonitorConfig sizes a Monitor.
+type MonitorConfig struct {
+	// Window is the sliding fit window in points; 0 selects 256. The
+	// window is the monitor's memory: verdicts describe the last Window
+	// samples, not the whole run, which is what lets a migrated shard's
+	// fresh behaviour replace its old scheme's record.
+	Window int
+}
+
+// Monitor is the online robustness classifier: it consumes sampled
+// points as they arrive (wire Observe as the Sampler's OnSample hook)
+// and keeps one incremental WindowFit per domain, so a per-shard Verdict
+// is readable at any instant mid-run — the evidence feed the adaptive
+// controller (internal/adapt) decides on. An Ops regression (shard
+// reopened or migrated) resets that domain's window automatically.
+type Monitor struct {
+	window int
+
+	mu      sync.Mutex
+	domains []Domain
+	fits    []*WindowFit
+}
+
+// NewMonitor builds a monitor over the given domains; domain i consumes
+// the sampler's domain-i points (store shard i under the store.Gauges
+// probe convention).
+func NewMonitor(cfg MonitorConfig, domains []Domain) *Monitor {
+	if cfg.Window <= 0 {
+		cfg.Window = 256
+	}
+	m := &Monitor{window: cfg.Window, domains: append([]Domain(nil), domains...)}
+	m.fits = make([]*WindowFit, len(m.domains))
+	for i := range m.fits {
+		m.fits[i] = NewWindowFit(cfg.Window)
+	}
+	return m
+}
+
+// Domains returns the number of monitored domains.
+func (m *Monitor) Domains() int { return len(m.domains) }
+
+// Observe feeds one sampled point into domain i's window. Its signature
+// matches the Sampler's OnSample hook.
+func (m *Monitor) Observe(domain int, p Point) {
+	if domain < 0 || domain >= len(m.fits) {
+		return
+	}
+	m.mu.Lock()
+	m.fits[domain].Push(p)
+	m.mu.Unlock()
+}
+
+// SetDomain rebinds domain i to a new scheme — called after a live
+// migration — and resets its window: the old scheme's evidence does not
+// transfer to the new heap.
+func (m *Monitor) SetDomain(domain int, scheme string, declared smr.RobustnessClass) {
+	if domain < 0 || domain >= len(m.domains) {
+		return
+	}
+	m.mu.Lock()
+	m.domains[domain].Scheme = scheme
+	m.domains[domain].Declared = declared
+	m.fits[domain].Reset()
+	m.mu.Unlock()
+}
+
+// Restarts returns how many window resets (domain incarnations) domain i
+// has absorbed, SetDomain rebinds included.
+func (m *Monitor) Restarts(domain int) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if domain < 0 || domain >= len(m.fits) {
+		return 0
+	}
+	return m.fits[domain].Resets()
+}
+
+// Verdict returns domain i's live windowed verdict: the current window's
+// fit related to the domain's declared class. Safe to call while the
+// sampler keeps observing.
+func (m *Monitor) Verdict(domain int) Verdict {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if domain < 0 || domain >= len(m.fits) {
+		return Verdict{}
+	}
+	d := m.domains[domain]
+	fit := m.fits[domain].Fit(d.Budget)
+	fit.Sanitize()
+	return NewVerdict(d.Scheme, d.Declared, fit)
+}
+
+// Verdicts returns every domain's live verdict.
+func (m *Monitor) Verdicts() []Verdict {
+	out := make([]Verdict, len(m.fits))
+	for i := range out {
+		out[i] = m.Verdict(i)
+	}
+	return out
+}

@@ -120,6 +120,11 @@ type Config struct {
 	Interval time.Duration
 	// Capacity is the per-domain ring capacity; 0 selects 1024.
 	Capacity int
+	// OnSample, when non-nil, receives every point right after it is
+	// pushed into domain i's series — the hook the online classifier
+	// (Monitor.Observe) feeds from. Called on the sampler goroutine, so
+	// it must not block on the sampler itself.
+	OnSample func(domain int, p Point)
 }
 
 // Sampler polls a Probe on a tick into one Series per domain. Start it
@@ -174,6 +179,9 @@ func (s *Sampler) sample() {
 		}
 		p.Elapsed = el
 		s.series[i].Push(p)
+		if s.cfg.OnSample != nil {
+			s.cfg.OnSample(i, p)
+		}
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/bench"
 	"repro/internal/chaos"
 	"repro/internal/core"
@@ -181,6 +182,9 @@ var (
 )
 
 // NewStore builds the sharded service and starts its shard workers.
+// Store.MigrateShard live-migrates a shard onto a different reclamation
+// scheme (drain, snapshot, rebuild, replay, swap) — the primitive the
+// adaptive controller drives.
 func NewStore(cfg StoreConfig) (*Store, error) { return store.New(cfg) }
 
 // UniformShards builds the homogeneous n-shard spec list.
@@ -229,6 +233,55 @@ func WriteChaosArtifact(w io.Writer, res ChaosResult) error {
 
 // FaultNames lists the registered chaos faults.
 func FaultNames() []string { return chaos.Names() }
+
+// TelemetryMonitor is the online robustness classifier: feed it sampled
+// points (wire Monitor.Observe as the sampler's OnSample hook) and read
+// live per-domain verdicts mid-run (see internal/telemetry).
+type TelemetryMonitor = telemetry.Monitor
+
+// TelemetryDomain describes one monitored domain for the classifier.
+type TelemetryDomain = telemetry.Domain
+
+// NewTelemetryMonitor builds the online classifier over the domains.
+func NewTelemetryMonitor(window int, domains []TelemetryDomain) *TelemetryMonitor {
+	return telemetry.NewMonitor(telemetry.MonitorConfig{Window: window}, domains)
+}
+
+// AdaptConfig tunes the adaptive-reclamation controller: the migration
+// ladder, decision cadence, and hysteresis (see internal/adapt).
+type AdaptConfig = adapt.Config
+
+// AdaptEpisode is one recorded live migration decision.
+type AdaptEpisode = adapt.Episode
+
+// AdaptController walks each store shard along a scheme ladder as its
+// live robustness verdicts demand.
+type AdaptController = adapt.Controller
+
+// NewAdaptController builds the controller over a store and the monitor
+// watching it (monitor domain i must describe store shard i).
+func NewAdaptController(cfg AdaptConfig, st *Store, mon *TelemetryMonitor) (*AdaptController, error) {
+	return adapt.New(cfg, st, mon)
+}
+
+// AdaptiveConfig sizes the static-vs-adaptive reclamation experiment.
+type AdaptiveConfig = bench.AdaptiveConfig
+
+// AdaptiveResult is the experiment outcome: the static control arm, the
+// adaptive arm with its migration episode log, and the headline
+// comparison.
+type AdaptiveResult = bench.AdaptiveResult
+
+// RunAdaptive runs the static control and the adaptive arm back to back
+// under the configured chaos faults (the erabench -exp adaptive
+// experiment is a thin wrapper over this).
+func RunAdaptive(cfg AdaptiveConfig) (AdaptiveResult, error) { return bench.RunAdaptive(cfg) }
+
+// WriteAdaptiveArtifact emits the experiment as the machine-readable
+// BENCH_adaptive.json artifact format.
+func WriteAdaptiveArtifact(w io.Writer, res AdaptiveResult) error {
+	return bench.WriteAdaptiveReport(w, res)
+}
 
 // RobustnessVerdict audits a sampled backlog series against a declared
 // robustness class (see internal/telemetry): points are fitted from
