@@ -9,6 +9,7 @@
 //	erabench -exp service      # EXP-SERVICE: sharded store, per-shard SMR
 //	erabench -exp chaos        # EXP-CHAOS:   live robustness audit (erachaos)
 //	erabench -exp adaptive     # EXP-ADAPT:   static vs adaptive reclamation
+//	erabench -exp traverse     # EXP-TRAVERSE: bounded finds + iterator snapshot
 //	erabench -exp all          # everything
 //
 // The throughput experiments are workload-driven: -workload names the key
@@ -36,11 +37,15 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: matrix|space|scale|stall|throughput|structures|michael|service|chaos|adaptive|all")
+	exp := flag.String("exp", "all", "experiment: matrix|space|scale|stall|throughput|structures|michael|service|chaos|adaptive|traverse|all")
 	shards := flag.Int("shards", 4, "shard count for the service experiment")
 	duration := flag.Duration("duration", 800*time.Millisecond, "traffic window for the adaptive experiment")
 	adaptiveJSON := flag.String("adaptive-json", "BENCH_adaptive.json",
 		"adaptive artifact path, written by the adaptive experiment (empty disables)")
+	traverseJSON := flag.String("traverse-json", "BENCH_traverse.json",
+		"traverse artifact path, written by the traverse experiment (empty disables)")
+	traverseShort := flag.Bool("traverse-short", false,
+		"run EXP-TRAVERSE at reduced scale (the CI smoke configuration)")
 	k := flag.Int("k", 800, "churn length for space/matrix experiments")
 	ops := flag.Int("ops", 20000, "operations per thread for throughput experiments")
 	keyRange := flag.Int("keyrange", 1024, "key universe for throughput experiments")
@@ -53,7 +58,7 @@ func main() {
 	jsonPath := flag.String("json", "", "write throughput rows as a JSON benchmark artifact to this path")
 	flag.Parse()
 
-	exps := []string{"matrix", "space", "scale", "stall", "throughput", "structures", "michael", "service", "chaos", "adaptive", "all"}
+	exps := []string{"matrix", "space", "scale", "stall", "throughput", "structures", "michael", "service", "chaos", "adaptive", "traverse", "all"}
 	known := false
 	for _, e := range exps {
 		known = known || e == *exp
@@ -116,6 +121,16 @@ func main() {
 			os.Exit(2)
 		}
 		adaptiveFile = f
+	}
+	// Same treatment for the traverse experiment's A/B artifact.
+	var traverseFile *os.File
+	if *traverseJSON != "" && want("traverse") {
+		f, err := os.Create(*traverseJSON)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "erabench: %v\n", err)
+			os.Exit(2)
+		}
+		traverseFile = f
 	}
 
 	// Throughput-shaped rows accumulate here for the -json artifact.
@@ -283,6 +298,37 @@ func main() {
 					return err
 				}
 				fmt.Printf("wrote %s\n", *adaptiveJSON)
+			}
+			return nil
+		})
+	}
+	if want("traverse") {
+		run("EXP-TRAVERSE: bounded-restart finds + O(live-keys) migration snapshot", func() error {
+			// The canned A/B pair: head-restart vs bounded finds under the
+			// long-chain churn storm, then Contains-scan vs iterator
+			// migration snapshots at a large universe with few live keys.
+			cfg := bench.TraverseConfig{Seed: *seed}
+			if *traverseShort {
+				cfg.Duration = 150 * time.Millisecond
+				cfg.ChurnKeyRange = 1024
+				cfg.SnapKeyRange = 100_000
+				cfg.SnapLiveKeys = 2000
+			}
+			res, err := bench.RunTraverse(cfg)
+			if err != nil {
+				return err
+			}
+			bench.WriteTraverseTable(os.Stdout, res)
+			if traverseFile != nil {
+				err := bench.WriteTraverseReport(traverseFile, res)
+				if cerr := traverseFile.Close(); err == nil {
+					err = cerr
+				}
+				traverseFile = nil
+				if err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", *traverseJSON)
 			}
 			return nil
 		})

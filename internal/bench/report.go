@@ -191,6 +191,52 @@ func ReadAdaptiveReport(r io.Reader) (AdaptiveReport, error) {
 	return rep, nil
 }
 
+// WriteTraverseTable renders EXP-TRAVERSE: the storm arms, the snapshot
+// arms, then the headlines.
+func WriteTraverseTable(w io.Writer, res TraverseResult) {
+	fmt.Fprintf(w, "%-13s %10s %10s %10s %10s %11s %8s %13s %11s %13s\n",
+		"storm-arm", "ops", "Mops/s", "p50", "p99", "restarts/kop", "head-rs", "max-op-steps", "guard-trips", "peak-retired")
+	for _, a := range res.Storm {
+		fmt.Fprintf(w, "%-13s %10d %10.3f %10s %10s %11.3f %8d %13d %11d %13d\n",
+			a.Mode, a.Ops, a.MopsPerSec, fmtLatency(a.P50), fmtLatency(a.P99),
+			a.RestartsPerKOp, a.TravHeadRestarts, a.MaxOpSteps, a.GuardTrips, a.PeakRetired)
+	}
+	fmt.Fprintf(w, "%-13s %14s %14s %14s\n", "snapshot-arm", "probes", "keys", "swap-window")
+	for _, a := range res.Snap {
+		fmt.Fprintf(w, "%-13s %14d %14d %14s\n",
+			a.Mode, a.SnapshotProbes, a.SnapshotKeys, a.SwapWindow.Round(time.Microsecond))
+	}
+	fmt.Fprintf(w, "aggregate: %d workers, %d clients, %s window, churn keyrange %d, snapshot %d universe / %d live, seed %d\n",
+		res.Workers, res.Clients, res.Duration, res.ChurnKeyRange, res.SnapKeyRange, res.SnapLiveKeys, res.Seed)
+	fmt.Fprintf(w, "           swap window improved %.1fx, probes bounded: %v, guard clean: %v\n",
+		res.SwapImprovement, res.ProbesBounded, res.GuardClean)
+}
+
+// TraverseReport is the machine-readable traverse artifact (the
+// BENCH_traverse.json file), under the same experiment/trajectory
+// convention as Report.
+type TraverseReport struct {
+	Experiment string `json:"experiment"`
+	TraverseResult
+}
+
+// WriteTraverseReport emits the traverse experiment as an indented JSON
+// benchmark artifact.
+func WriteTraverseReport(w io.Writer, res TraverseResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(TraverseReport{Experiment: "traverse", TraverseResult: res})
+}
+
+// ReadTraverseReport parses an artifact written by WriteTraverseReport.
+func ReadTraverseReport(r io.Reader) (TraverseReport, error) {
+	var rep TraverseReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return TraverseReport{}, fmt.Errorf("bench: malformed traverse artifact: %w", err)
+	}
+	return rep, nil
+}
+
 // WriteChaosTable renders the chaos audit: one verdict line per scheme
 // shard, the fault episode log, then the client-side aggregate.
 func WriteChaosTable(w io.Writer, res ChaosResult) {

@@ -239,11 +239,14 @@ func storeProbe(st *store.Store) telemetry.Probe {
 		pts := make([]telemetry.Point, len(gs))
 		for i, g := range gs {
 			pts[i] = telemetry.Point{
-				Ops:        g.Ops,
-				Retired:    g.Retired,
-				MaxRetired: g.MaxRetired,
-				Active:     g.Active,
-				MaxActive:  g.MaxActive,
+				Ops:          g.Ops,
+				Retired:      g.Retired,
+				MaxRetired:   g.MaxRetired,
+				Active:       g.Active,
+				MaxActive:    g.MaxActive,
+				TravSteps:    g.TravSteps,
+				TravRestarts: g.TravRestarts,
+				GuardTrips:   g.GuardTrips,
 			}
 		}
 		return pts

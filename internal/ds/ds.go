@@ -11,7 +11,9 @@ package ds
 
 import (
 	"errors"
+	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/mem"
 	"repro/internal/sched"
@@ -37,6 +39,36 @@ const (
 // only ever observed when an unsafe scheme corrupted memory.
 var ErrCorrupted = errors.New("ds: structure corrupted")
 
+// ErrTraversalGuard reports that one operation exhausted its traversal
+// step budget. Before the bounded-restart overhaul this condition was a
+// silent near-stall — the op burned toward maxSteps restarting from the
+// head, pinning its reclamation epoch for the whole walk (ROADMAP item
+// 5); now it surfaces as a typed, counted error. Guard errors also match
+// ErrCorrupted under errors.Is, so callers that already escalate
+// corruption escalate guard trips too.
+var ErrTraversalGuard = errors.New("ds: traversal step budget exhausted")
+
+// GuardError is the typed maxSteps-exhaustion error: which structure and
+// operation tripped the guard, and the traversal counters at the trip.
+type GuardError struct {
+	Structure string
+	Op        string
+	Steps     uint64
+	Restarts  uint64
+}
+
+func (e *GuardError) Error() string {
+	return fmt.Sprintf("ds: %s.%s traversal step budget exhausted (%d steps, %d restarts)",
+		e.Structure, e.Op, e.Steps, e.Restarts)
+}
+
+// Is matches both the guard sentinel and ErrCorrupted: a tripped guard is
+// the structure declaring it cannot make progress, which every existing
+// caller treats as corruption-grade.
+func (e *GuardError) Is(target error) bool {
+	return target == ErrTraversalGuard || target == ErrCorrupted
+}
+
 // Set is the integer-set object of Section 3 of the paper.
 type Set interface {
 	// Name identifies the implementation ("harris", "michael", ...).
@@ -47,6 +79,38 @@ type Set interface {
 	Delete(tid int, key int64) (bool, error)
 	// Contains reports membership.
 	Contains(tid int, key int64) (bool, error)
+}
+
+// Iterator is the snapshot contract of the traversal overhaul: services
+// read a structure's live contents in O(live keys) by scanning the
+// structure itself, instead of probing a key universe through Contains.
+//
+// Iterate calls fn for each key until fn returns false or the scan
+// completes. The contract, shared by every implementation and verified by
+// the dstest suite:
+//
+//   - Every key that is continuously present for the whole call is
+//     reported exactly once. On a quiescent structure that makes the scan
+//     a single exact sweep — the fast path.
+//   - No key is ever reported twice, even under concurrent mutation:
+//     emission is monotonic per region (globally ascending for ordered
+//     structures, per-bucket for partitioned ones), and interference makes
+//     the scan resume from the last emitted key, never rewind — the
+//     concurrent fallback.
+//   - Keys inserted or deleted during the call may or may not be reported.
+//
+// Iterate runs inside the scheme's operation brackets on the caller's tid
+// (which must not be running another operation), re-bracketing in batches
+// so a long scan never pins a reclamation epoch for the whole structure.
+type Iterator interface {
+	Iterate(tid int, fn func(key int64) bool) error
+}
+
+// TravReporter exposes a structure's traversal counters. Every structure
+// embedding Instr implements it; partitioned structures merge their
+// buckets' counters.
+type TravReporter interface {
+	TravSnapshot() TravSnapshot
 }
 
 // Queue is a FIFO queue object.
@@ -72,6 +136,12 @@ type Options struct {
 	// Phases, when true and the arena traces, annotates read/write phase
 	// boundaries into the trace for the access-aware verifier.
 	Phases bool
+	// HeadRestart restores the pre-overhaul traversal behavior: every
+	// contention restart rewinds to the structure's entry point instead of
+	// resuming from the validated cached pred. It exists as the baseline
+	// arm of EXP-TRAVERSE and for bisecting traversal regressions; leave
+	// it false in production configurations.
+	HeadRestart bool
 }
 
 // Named execution points (sched.Gate hits).
@@ -99,10 +169,85 @@ const (
 	PointDeleteMarked = "delete:marked"
 )
 
+// TravStats is the per-structure traversal counter block: total steps
+// (node visits), restarts split into bounded (resume-from-pred) and head
+// rewinds, guard trips, and the worst single-operation step count. All
+// fields are atomics; operations accumulate locally and fold in once per
+// traversal, so the hot path stays off shared cache lines.
+type TravStats struct {
+	Steps        atomic.Uint64
+	Restarts     atomic.Uint64
+	HeadRestarts atomic.Uint64
+	GuardTrips   atomic.Uint64
+	MaxOpSteps   atomic.Uint64
+}
+
+// Record folds one traversal's local counters into the shared block.
+func (t *TravStats) Record(steps, restarts, headRestarts uint64) {
+	if steps != 0 {
+		t.Steps.Add(steps)
+	}
+	if restarts != 0 {
+		t.Restarts.Add(restarts)
+	}
+	if headRestarts != 0 {
+		t.HeadRestarts.Add(headRestarts)
+	}
+	for {
+		cur := t.MaxOpSteps.Load()
+		if steps <= cur || t.MaxOpSteps.CompareAndSwap(cur, steps) {
+			return
+		}
+	}
+}
+
+// TravSnapshot is a point-in-time copy of TravStats.
+type TravSnapshot struct {
+	Steps        uint64 `json:"steps"`
+	Restarts     uint64 `json:"restarts"`
+	HeadRestarts uint64 `json:"head_restarts"`
+	GuardTrips   uint64 `json:"guard_trips"`
+	MaxOpSteps   uint64 `json:"max_op_steps"`
+}
+
+// Snapshot copies the counters.
+func (t *TravStats) Snapshot() TravSnapshot {
+	return TravSnapshot{
+		Steps:        t.Steps.Load(),
+		Restarts:     t.Restarts.Load(),
+		HeadRestarts: t.HeadRestarts.Load(),
+		GuardTrips:   t.GuardTrips.Load(),
+		MaxOpSteps:   t.MaxOpSteps.Load(),
+	}
+}
+
+// Merge combines two snapshots (sums, max of maxes) — how partitioned
+// structures aggregate their buckets.
+func (s TravSnapshot) Merge(o TravSnapshot) TravSnapshot {
+	s.Steps += o.Steps
+	s.Restarts += o.Restarts
+	s.HeadRestarts += o.HeadRestarts
+	s.GuardTrips += o.GuardTrips
+	if o.MaxOpSteps > s.MaxOpSteps {
+		s.MaxOpSteps = o.MaxOpSteps
+	}
+	return s
+}
+
 // Instr is the instrumentation half every structure embeds.
 type Instr struct {
-	Opt Options
-	A   *mem.Arena
+	Opt  Options
+	A    *mem.Arena
+	Trav TravStats
+}
+
+// TravSnapshot implements TravReporter for every embedding structure.
+func (in *Instr) TravSnapshot() TravSnapshot { return in.Trav.Snapshot() }
+
+// GuardTrip counts a step-budget exhaustion and builds its typed error.
+func (in *Instr) GuardTrip(structure, op string, steps, restarts uint64) error {
+	in.Trav.GuardTrips.Add(1)
+	return &GuardError{Structure: structure, Op: op, Steps: steps, Restarts: restarts}
 }
 
 // Hit forwards to the gate when one is installed.

@@ -202,6 +202,176 @@ func SequentialStack(tb testing.TB, st ds.Stack, steps int) {
 	}
 }
 
+// IterateSet verifies the ds.Iterator contract. Phase 1 (quiescent fast
+// path): after single-threaded churn, one Iterate pass must report exactly
+// the model contents, each key once, and an early-stopped pass must stop.
+// Phase 2 (concurrent fallback): while threads 1..N-1 churn a disjoint
+// upper key range, repeated passes on tid 0 must report every persistent
+// key and never report any key twice within a pass.
+func IterateSet(tb testing.TB, env *Env, set ds.Set, keyRange int) {
+	tb.Helper()
+	it, ok := set.(ds.Iterator)
+	if !ok {
+		tb.Fatalf("%s does not implement ds.Iterator", set.Name())
+	}
+	model := make(map[int64]bool)
+	r := newRNG(77)
+	for i := 0; i < keyRange*4; i++ {
+		key := int64(r.intn(keyRange))
+		if r.intn(2) == 0 {
+			if _, err := set.Insert(0, key); err != nil {
+				tb.Fatalf("prefill insert(%d): %v", key, err)
+			}
+			model[key] = true
+		} else {
+			if _, err := set.Delete(0, key); err != nil {
+				tb.Fatalf("prefill delete(%d): %v", key, err)
+			}
+			delete(model, key)
+		}
+	}
+	seen := make(map[int64]int)
+	if err := it.Iterate(0, func(k int64) bool { seen[k]++; return true }); err != nil {
+		tb.Fatalf("quiescent iterate: %v", err)
+	}
+	for k, c := range seen {
+		if c != 1 {
+			tb.Errorf("quiescent iterate reported key %d %d times", k, c)
+		}
+		if !model[k] {
+			tb.Errorf("quiescent iterate reported absent key %d", k)
+		}
+	}
+	if len(seen) != len(model) {
+		tb.Errorf("quiescent iterate saw %d keys, model has %d", len(seen), len(model))
+	}
+	visited := 0
+	if err := it.Iterate(0, func(int64) bool { visited++; return false }); err != nil {
+		tb.Fatalf("early-stopped iterate: %v", err)
+	}
+	if len(model) > 0 && visited != 1 {
+		tb.Errorf("early-stopped iterate visited %d keys, want 1", visited)
+	}
+	if env.N < 2 {
+		return
+	}
+	// Concurrent phase: the model keys stay untouched (persistent); each
+	// churner owns a disjoint slice of [keyRange, 2*keyRange).
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for tid := 1; tid < env.N; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			r := newRNG(uint64(tid) + 7777)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := int64(keyRange + r.intn(keyRange)/(env.N-1)*(env.N-1) + (tid - 1))
+				var err error
+				if i%2 == 0 {
+					_, err = set.Insert(tid, key)
+				} else {
+					_, err = set.Delete(tid, key)
+				}
+				if err != nil {
+					tb.Errorf("churner T%d: %v", tid, err)
+					return
+				}
+			}
+		}(tid)
+	}
+	for pass := 0; pass < 4 && !tb.Failed(); pass++ {
+		seen := make(map[int64]int)
+		if err := it.Iterate(0, func(k int64) bool { seen[k]++; return true }); err != nil {
+			tb.Errorf("concurrent iterate pass %d: %v", pass, err)
+			break
+		}
+		for k, c := range seen {
+			if c > 1 {
+				tb.Errorf("pass %d: key %d reported %d times under mutation", pass, k, c)
+			}
+		}
+		for k := range model {
+			if seen[k] == 0 {
+				tb.Errorf("pass %d: persistent key %d not reported", pass, k)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// RestartStormSet reproduces the ROADMAP item 5 restart storm: a chain of
+// live keys, every thread churning its own partition while also running
+// full-chain searches, so unlink contention lands on long traversal
+// paths. With head-restart finds one operation could burn toward the
+// maxSteps guard (~millions of steps) inside a single epoch-pinning
+// bracket; with bounded restarts the worst operation must stay within a
+// small multiple of the chain length. backlogBudget, when non-zero, also
+// bounds the heap's peak retired backlog (the EBR symptom of the storm:
+// a pinned epoch balloons the backlog with no fault injected).
+func RestartStormSet(tb testing.TB, env *Env, set ds.Set, chain, opsPerThread int, backlogBudget uint64) {
+	tb.Helper()
+	tr, ok := set.(ds.TravReporter)
+	if !ok {
+		tb.Fatalf("%s does not expose traversal counters", set.Name())
+	}
+	for k := 0; k < chain; k++ {
+		if _, err := set.Insert(0, int64(k)); err != nil {
+			tb.Fatalf("prefill insert(%d): %v", k, err)
+		}
+	}
+	var wg sync.WaitGroup
+	for tid := 0; tid < env.N; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			r := newRNG(uint64(tid) + 555)
+			for i := 0; i < opsPerThread; i++ {
+				// Shared (not disjoint) keys: colliding unlink CASes on
+				// the same marked nodes are what force restarts.
+				key := int64(r.intn(chain))
+				var err error
+				switch r.intn(4) {
+				case 0:
+					_, err = set.Delete(tid, key)
+				case 1:
+					_, err = set.Insert(tid, key)
+				default:
+					// A far-key search walks the whole chain — the victim
+					// of the storm.
+					_, err = set.Contains(tid, int64(chain-1))
+				}
+				if err != nil {
+					tb.Errorf("T%d op %d: %v", tid, i, err)
+					return
+				}
+			}
+		}(tid)
+	}
+	wg.Wait()
+	if tb.Failed() {
+		return
+	}
+	tv := tr.TravSnapshot()
+	if tv.GuardTrips != 0 {
+		tb.Errorf("%d traversal guard trips under churn", tv.GuardTrips)
+	}
+	if bound := uint64(64 * chain); tv.MaxOpSteps > bound {
+		tb.Errorf("worst single-op traversal took %d steps, want <= %d (chain %d): restart storm",
+			tv.MaxOpSteps, bound, chain)
+	}
+	if backlogBudget != 0 {
+		if peak := env.A.Stats().MaxRetired(); peak > backlogBudget {
+			tb.Errorf("peak retired backlog %d exceeds budget %d with no fault injected", peak, backlogBudget)
+		}
+	}
+}
+
 // runRounds executes rounds of concurrent operations with a barrier between
 // rounds and returns the per-round history windows, ready for the chained
 // linearizability checker.

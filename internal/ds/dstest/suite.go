@@ -63,6 +63,15 @@ func RunSetSuite(t *testing.T, structure string) {
 				DisjointChurnSet(t, env, set, 2500, 48)
 				env.AssertSafe(t)
 			})
+			t.Run("iterate", func(t *testing.T) {
+				env, info := suiteEnv(t, scheme, structure, 4)
+				set, err := info.NewSet(env.S, ds.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				IterateSet(t, env, set, 48)
+				env.AssertSafe(t)
+			})
 		})
 	}
 }

@@ -64,47 +64,67 @@ func (l *List) Tail() mem.Ref { return l.tail }
 // detectable ds.ErrCorrupted.
 const maxSteps = 1 << 22
 
+// iterBatch bounds how many keys one Iterate operation bracket emits.
+const iterBatch = 512
+
 type status uint8
 
 const (
 	stOK status = iota
 	stRestart
 	stCorrupt
+	stGuard  // traversal step budget exhausted
+	stAnchor // the cached restart anchor went stale; rewind to head
 )
 
-// search traverses from head to the first unmarked node with key >= key,
+// search traverses from anchor to the first unmarked node with key >= key,
 // passing through marked nodes without unlinking them. It returns the
 // window (pred, predNext, curr) where predNext is the value read from
-// pred's next field (the expected value for an unlink CAS); stRestart
-// means the scheme demanded a rollback.
+// pred's next field (the expected value for an unlink CAS) plus the slot
+// protecting pred; stRestart means the scheme demanded a rollback.
+//
+// anchor is l.head on a fresh traversal, or a validated cached pred on a
+// bounded restart (protected in aslot). A non-head anchor whose next
+// pointer reads back marked returns stAnchor: an unmarked pred is what the
+// unlink CAS's correctness rests on (writing an unmarked next value into a
+// marked node would resurrect it), so a stale anchor falls back to head.
 //
 // Protection slots rotate over {0,1,2}: pred is protected in sp, curr in
-// sc, and each new target is read into the remaining slot.
-func (l *List) search(tid int, key int64) (pred, predNext, curr mem.Ref, st status) {
-	sp, sc := 0, 1
-	pred = l.head
+// sc, and each new target is read into the remaining slot. steps is the
+// caller's operation-wide step budget.
+func (l *List) search(tid int, key int64, anchor mem.Ref, aslot int, steps *uint64) (pred, predNext, curr mem.Ref, predSlot int, st status) {
+	sp := aslot
+	sc := (aslot + 1) % 3
+	pred = anchor
 	pn, ok := l.s.ReadPtr(tid, sc, pred, ds.WNext)
 	if !ok {
-		return mem.NilRef, mem.NilRef, mem.NilRef, stRestart
+		return mem.NilRef, mem.NilRef, mem.NilRef, 0, stRestart
 	}
-	l.Hit(tid, ds.PointSearchHead, uint64(key))
+	if anchor == l.head {
+		l.Hit(tid, ds.PointSearchHead, uint64(key))
+	} else if pn.Marked() {
+		return mem.NilRef, mem.NilRef, mem.NilRef, 0, stAnchor
+	}
 	predNext = pn
 	curr = pn.WithoutMark()
-	for steps := 0; ; steps++ {
-		if steps > maxSteps || curr.IsNil() {
-			return mem.NilRef, mem.NilRef, mem.NilRef, stCorrupt
+	for {
+		if *steps++; *steps > maxSteps {
+			return mem.NilRef, mem.NilRef, mem.NilRef, 0, stGuard
+		}
+		if curr.IsNil() {
+			return mem.NilRef, mem.NilRef, mem.NilRef, 0, stCorrupt
 		}
 		l.Hit(tid, ds.PointSearchStep, uint64(curr))
 		sn := 3 - sp - sc
 		cn, ok := l.s.ReadPtr(tid, sn, curr, ds.WNext)
 		if !ok {
-			return mem.NilRef, mem.NilRef, mem.NilRef, stRestart
+			return mem.NilRef, mem.NilRef, mem.NilRef, 0, stRestart
 		}
 		if cn.Marked() {
 			// Logically deleted: traverse through without unlinking.
 			ckey, ok := l.s.Read(tid, curr, ds.WKey)
 			if !ok {
-				return mem.NilRef, mem.NilRef, mem.NilRef, stRestart
+				return mem.NilRef, mem.NilRef, mem.NilRef, 0, stRestart
 			}
 			l.Hit(tid, ds.PointSearchVisitMarked, ckey)
 			curr = cn.WithoutMark()
@@ -113,11 +133,11 @@ func (l *List) search(tid int, key int64) (pred, predNext, curr mem.Ref, st stat
 		}
 		ckey, ok := l.s.Read(tid, curr, ds.WKey)
 		if !ok {
-			return mem.NilRef, mem.NilRef, mem.NilRef, stRestart
+			return mem.NilRef, mem.NilRef, mem.NilRef, 0, stRestart
 		}
 		l.Hit(tid, ds.PointSearchVisit, ckey)
 		if int64(ckey) >= key {
-			return pred, predNext, curr, stOK
+			return pred, predNext, curr, sp, stOK
 		}
 		pred, predNext = curr, cn
 		sp, sc = sc, sn
@@ -127,38 +147,72 @@ func (l *List) search(tid int, key int64) (pred, predNext, curr mem.Ref, st stat
 
 // find runs search until it returns a clean window: pred directly links
 // to curr (unlinking any marked run in between, paper line 18) and curr is
-// unmarked (lines 14-16). Scheme-requested rollbacks simply rerun the
-// search — the operation entry point is the checkpoint.
+// unmarked (lines 14-16).
+//
+// Restart policy (the bounded-restart overhaul): contention — losing the
+// unlink CAS, or curr getting marked after the window was found — resumes
+// the next search from the still-protected pred instead of the head, so a
+// long chain is not re-walked inside the same epoch-pinning bracket.
+// Scheme-requested rollbacks (stRestart) always rerun from the head: the
+// operation entry point is the rollback checkpoint.
 func (l *List) find(tid int, key int64) (pred, curr mem.Ref, err error) {
-	// The retry loop is bounded so that a persistently failing window
-	// (e.g. a dangling edge a simulated-wide-CAS window let slip in)
-	// surfaces as a detected ds.ErrCorrupted instead of a livelock.
-	for retries := 0; ; retries++ {
-		if retries > maxSteps {
-			return mem.NilRef, mem.NilRef, ds.ErrCorrupted
+	var steps, restarts, headRestarts uint64
+	defer func() { l.Trav.Record(steps, restarts, headRestarts) }()
+	anchor, aslot := l.head, 0
+	rewind := func() {
+		anchor, aslot = l.head, 0
+		restarts++
+		headRestarts++
+	}
+	resume := func(pred mem.Ref, pslot int) {
+		restarts++
+		if l.Opt.HeadRestart {
+			anchor, aslot = l.head, 0
+			headRestarts++
+			return
+		}
+		anchor, aslot = pred, pslot
+	}
+	for {
+		if steps++; steps > maxSteps {
+			return mem.NilRef, mem.NilRef, l.GuardTrip("harris", "find", steps, restarts)
 		}
 		l.Phase(tid, ds.PhaseRead)
-		pred, predNext, curr, st := l.search(tid, key)
-		if st == stCorrupt {
+		pred, predNext, curr, pslot, st := l.search(tid, key, anchor, aslot, &steps)
+		switch st {
+		case stGuard:
+			return mem.NilRef, mem.NilRef, l.GuardTrip("harris", "find", steps, restarts)
+		case stCorrupt:
 			return mem.NilRef, mem.NilRef, ds.ErrCorrupted
-		}
-		if st == stRestart {
+		case stRestart, stAnchor:
+			rewind()
 			continue
 		}
 		if predNext != curr {
 			// Unlink the marked run between pred and curr.
 			if !l.s.Reserve(tid, pred, curr) {
+				rewind()
 				continue
 			}
 			l.Phase(tid, ds.PhaseWrite)
 			swapped, ok := l.s.CASPtr(tid, pred, ds.WNext, predNext, curr)
-			if !ok || !swapped {
+			if !ok {
+				rewind()
+				continue
+			}
+			if !swapped {
+				resume(pred, pslot)
 				continue
 			}
 		}
 		// Validate that curr was not marked meanwhile (paper line 15/21).
 		cn, ok := l.s.Read(tid, curr, ds.WNext)
-		if !ok || mem.Ref(cn).Marked() {
+		if !ok {
+			rewind()
+			continue
+		}
+		if mem.Ref(cn).Marked() {
+			resume(pred, pslot)
 			continue
 		}
 		return pred, curr, nil
@@ -169,9 +223,9 @@ func (l *List) find(tid int, key int64) (pred, curr mem.Ref, err error) {
 func (l *List) Contains(tid int, key int64) (bool, error) {
 	l.s.BeginOp(tid)
 	defer l.s.EndOp(tid)
-	for retries := 0; ; retries++ {
+	for retries := uint64(0); ; retries++ {
 		if retries > maxSteps {
-			return false, ds.ErrCorrupted
+			return false, l.GuardTrip("harris", "contains", retries, retries)
 		}
 		_, curr, err := l.find(tid, key)
 		if err != nil {
@@ -198,9 +252,9 @@ func (l *List) Insert(tid int, key int64) (bool, error) {
 		return false, err
 	}
 	l.s.Write(tid, n, ds.WKey, uint64(key))
-	for retries := 0; ; retries++ {
+	for retries := uint64(0); ; retries++ {
 		if retries > maxSteps {
-			return false, ds.ErrCorrupted
+			return false, l.GuardTrip("harris", "insert", retries, retries)
 		}
 		pred, curr, err := l.find(tid, key)
 		if err != nil {
@@ -238,9 +292,9 @@ func (l *List) Insert(tid int, key int64) (bool, error) {
 func (l *List) Delete(tid int, key int64) (bool, error) {
 	l.s.BeginOp(tid)
 	defer l.s.EndOp(tid)
-	for retries := 0; ; retries++ {
+	for retries := uint64(0); ; retries++ {
 		if retries > maxSteps {
-			return false, ds.ErrCorrupted
+			return false, l.GuardTrip("harris", "delete", retries, retries)
 		}
 		pred, curr, err := l.find(tid, key)
 		if err != nil {
@@ -280,6 +334,82 @@ func (l *List) Delete(tid int, key int64) (bool, error) {
 		}
 		l.s.Retire(tid, curr)
 		return true, nil
+	}
+}
+
+var _ ds.Iterator = (*List)(nil)
+
+// Iterate implements ds.Iterator: an ascending barrier-based scan that,
+// like search, traverses through marked runs without unlinking them.
+// Emission is monotonic (each chunk only reports keys greater than the
+// last emitted one), so interference rewinds the walk but never the
+// emission cursor — no key is reported twice, and a quiescent list is
+// swept in one pass.
+func (l *List) Iterate(tid int, fn func(key int64) bool) error {
+	after := int64(ds.KeyMin)
+	for {
+		l.s.BeginOp(tid)
+		done, err := l.iterChunk(tid, &after, fn)
+		l.s.EndOp(tid)
+		if done || err != nil {
+			return err
+		}
+	}
+}
+
+// iterChunk emits up to iterBatch unmarked keys greater than *after inside
+// one operation bracket; rollbacks rewind the walk to the head.
+func (l *List) iterChunk(tid int, after *int64, fn func(key int64) bool) (done bool, err error) {
+	var steps, restarts uint64
+	defer func() { l.Trav.Record(steps, restarts, restarts) }()
+	emitted := 0
+	for {
+		if steps++; steps > maxSteps {
+			return false, l.GuardTrip("harris", "iterate", steps, restarts)
+		}
+		l.Phase(tid, ds.PhaseRead)
+		sc := 1
+		pn, ok := l.s.ReadPtr(tid, sc, l.head, ds.WNext)
+		if !ok {
+			restarts++
+			continue
+		}
+		curr := pn.WithoutMark()
+	walk:
+		for {
+			if steps++; steps > maxSteps {
+				return false, l.GuardTrip("harris", "iterate", steps, restarts)
+			}
+			if curr.IsNil() {
+				return false, ds.ErrCorrupted
+			}
+			sn := 3 - sc // alternate over {1, 2}: curr in sc, next in sn
+			cn, ok := l.s.ReadPtr(tid, sn, curr, ds.WNext)
+			if !ok {
+				restarts++
+				break walk
+			}
+			ckey, ok := l.s.Read(tid, curr, ds.WKey)
+			if !ok {
+				restarts++
+				break walk
+			}
+			k := int64(ckey)
+			if k == ds.KeyMax {
+				return true, nil // tail sentinel: sweep complete
+			}
+			if !cn.Marked() && k > *after {
+				*after = k
+				if !fn(k) {
+					return true, nil
+				}
+				if emitted++; emitted >= iterBatch {
+					return false, nil // re-bracket before continuing
+				}
+			}
+			curr = cn.WithoutMark()
+			sc = sn
+		}
 	}
 }
 

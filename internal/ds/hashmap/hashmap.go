@@ -70,6 +70,48 @@ func (m *Map) Delete(tid int, key int64) (bool, error) { return m.bucket(key).De
 // Contains implements ds.Set.
 func (m *Map) Contains(tid int, key int64) (bool, error) { return m.bucket(key).Contains(tid, key) }
 
+var (
+	_ ds.Iterator     = (*Map)(nil)
+	_ ds.TravReporter = (*Map)(nil)
+)
+
+// Iterate implements ds.Iterator by sweeping the buckets in index order.
+// Emission is monotonic per bucket rather than globally ascending; since a
+// key hashes to exactly one bucket, the no-duplicates and
+// every-persistent-key guarantees still hold map-wide.
+func (m *Map) Iterate(tid int, fn func(key int64) bool) error {
+	stopped := false
+	for _, b := range m.buckets {
+		it, ok := b.(ds.Iterator)
+		if !ok {
+			return ds.ErrCorrupted // unreachable: both bucket kinds implement Iterator
+		}
+		err := it.Iterate(tid, func(k int64) bool {
+			if !fn(k) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if err != nil || stopped {
+			return err
+		}
+	}
+	return nil
+}
+
+// TravSnapshot implements ds.TravReporter by merging the buckets'
+// traversal counters.
+func (m *Map) TravSnapshot() ds.TravSnapshot {
+	var s ds.TravSnapshot
+	for _, b := range m.buckets {
+		if tr, ok := b.(ds.TravReporter); ok {
+			s = s.Merge(tr.TravSnapshot())
+		}
+	}
+	return s
+}
+
 // Keys returns all unmarked keys; quiescent use only.
 func (m *Map) Keys() []int64 {
 	var keys []int64

@@ -55,26 +55,62 @@ func (l *List) Tail() mem.Ref { return l.tail }
 
 const maxSteps = 1 << 22
 
+// iterBatch bounds how many keys one Iterate operation bracket emits, so
+// a full scan re-brackets periodically instead of pinning one reclamation
+// epoch for the whole structure.
+const iterBatch = 512
+
 // find locates the window (pred, curr) for key: curr is the first unmarked
 // node with key >= key and pred directly precedes it. Marked nodes are
-// unlinked one at a time as they are met; any contention or scheme
-// rollback restarts the traversal from head.
+// unlinked one at a time as they are met — never traversed through (the
+// Michael discipline).
+//
+// Restart policy (the bounded-restart overhaul, ROADMAP item 5): losing
+// the unlink CAS to a concurrent writer resumes the traversal from the
+// validated cached pred instead of rewinding to the head, so contention
+// anywhere on a long chain costs O(1) re-reads rather than O(chain)
+// re-walks inside one epoch-pinning operation bracket. The resume is only
+// legal because pred is revalidated on re-entry: its next pointer is
+// re-read through the barrier and must be unmarked — an unmarked Michael
+// node is still linked (marking strictly precedes unlinking), so a
+// protect-and-validate scheme can certify everything reached from it. A
+// marked pred may already be detached and falls back to the head. Scheme
+// rollbacks (ok == false) always rewind to the head: per the smr contract
+// the operation must drop every reference it obtained and restart from
+// its entry point.
 func (l *List) find(tid int, key int64) (pred, curr mem.Ref, err error) {
-	steps := 0
+	var steps, restarts, headRestarts uint64
+	defer func() { l.Trav.Record(steps, restarts, headRestarts) }()
+	sp, sc := 0, 1
+	pred = l.head
+	rewind := func() {
+		pred, sp, sc = l.head, 0, 1
+		restarts++
+		headRestarts++
+	}
 retry:
 	for {
+		if steps++; steps > maxSteps {
+			return mem.NilRef, mem.NilRef, l.GuardTrip("michael", "find", steps, restarts)
+		}
 		l.Phase(tid, ds.PhaseRead)
-		sp, sc := 0, 1
-		pred = l.head
 		pn, ok := l.s.ReadPtr(tid, sc, pred, ds.WNext)
 		if !ok {
+			rewind()
 			continue
 		}
-		l.Hit(tid, ds.PointSearchHead, uint64(key))
+		if pred == l.head {
+			l.Hit(tid, ds.PointSearchHead, uint64(key))
+		} else if pn.Marked() {
+			// The cached pred was deleted behind our back; resuming from
+			// it would traverse a possibly-detached node. Fall back.
+			rewind()
+			continue
+		}
 		curr = pn.WithoutMark()
 		for {
 			if steps++; steps > maxSteps {
-				return mem.NilRef, mem.NilRef, ds.ErrCorrupted
+				return mem.NilRef, mem.NilRef, l.GuardTrip("michael", "find", steps, restarts)
 			}
 			if curr.IsNil() {
 				return mem.NilRef, mem.NilRef, ds.ErrCorrupted
@@ -82,17 +118,30 @@ retry:
 			sn := 3 - sp - sc
 			cn, ok := l.s.ReadPtr(tid, sn, curr, ds.WNext)
 			if !ok {
+				rewind()
 				continue retry
 			}
 			if cn.Marked() {
-				// Unlink this single marked node before proceeding —
-				// never traverse through it (the Michael discipline).
+				// Unlink this single marked node before proceeding.
 				if !l.s.Reserve(tid, pred, curr) {
+					rewind()
 					continue retry
 				}
 				l.Phase(tid, ds.PhaseWrite)
 				swapped, ok := l.s.CASPtr(tid, pred, ds.WNext, curr, cn.WithoutMark())
-				if !ok || !swapped {
+				if !ok {
+					rewind()
+					continue retry
+				}
+				if !swapped {
+					// Contention, not a rollback: pred is still protected
+					// in slot sp. Resume from it (re-validating at the
+					// top) instead of rewinding the whole chain.
+					restarts++
+					if l.Opt.HeadRestart {
+						pred, sp, sc = l.head, 0, 1
+						headRestarts++
+					}
 					continue retry
 				}
 				l.Phase(tid, ds.PhaseRead)
@@ -102,6 +151,7 @@ retry:
 			}
 			ckey, ok := l.s.Read(tid, curr, ds.WKey)
 			if !ok {
+				rewind()
 				continue retry
 			}
 			l.Hit(tid, ds.PointSearchVisit, ckey)
@@ -218,6 +268,102 @@ func (l *List) Delete(tid int, key int64) (bool, error) {
 		}
 		l.s.Retire(tid, curr)
 		return true, nil
+	}
+}
+
+var _ ds.Iterator = (*List)(nil)
+
+// Iterate implements ds.Iterator: an ascending barrier-based scan.
+// Emission is monotonic — each chunk only reports keys greater than the
+// last emitted one — so interference degrades into a validated resume
+// (rewind the walk, not the emission cursor) and a key can never be
+// reported twice. A quiescent list is swept in one ascending pass.
+func (l *List) Iterate(tid int, fn func(key int64) bool) error {
+	after := int64(ds.KeyMin)
+	for {
+		l.s.BeginOp(tid)
+		done, err := l.iterChunk(tid, &after, fn)
+		l.s.EndOp(tid)
+		if done || err != nil {
+			return err
+		}
+	}
+}
+
+// iterChunk emits up to iterBatch unmarked keys greater than *after inside
+// one operation bracket. It follows the same traversal discipline as find
+// (unlink marked nodes, never walk through them); any contention or
+// rollback rewinds the walk to the head, which is harmless for emission
+// because *after only moves forward.
+func (l *List) iterChunk(tid int, after *int64, fn func(key int64) bool) (done bool, err error) {
+	var steps, restarts uint64
+	defer func() { l.Trav.Record(steps, restarts, restarts) }()
+	emitted := 0
+	for {
+		if steps++; steps > maxSteps {
+			return false, l.GuardTrip("michael", "iterate", steps, restarts)
+		}
+		l.Phase(tid, ds.PhaseRead)
+		sp, sc := 0, 1
+		pred := l.head
+		pn, ok := l.s.ReadPtr(tid, sc, pred, ds.WNext)
+		if !ok {
+			restarts++
+			continue
+		}
+		curr := pn.WithoutMark()
+	walk:
+		for {
+			if steps++; steps > maxSteps {
+				return false, l.GuardTrip("michael", "iterate", steps, restarts)
+			}
+			if curr.IsNil() {
+				return false, ds.ErrCorrupted
+			}
+			sn := 3 - sp - sc
+			cn, ok := l.s.ReadPtr(tid, sn, curr, ds.WNext)
+			if !ok {
+				restarts++
+				break walk
+			}
+			if cn.Marked() {
+				if !l.s.Reserve(tid, pred, curr) {
+					restarts++
+					break walk
+				}
+				l.Phase(tid, ds.PhaseWrite)
+				swapped, ok := l.s.CASPtr(tid, pred, ds.WNext, curr, cn.WithoutMark())
+				if !ok || !swapped {
+					restarts++
+					break walk
+				}
+				l.Phase(tid, ds.PhaseRead)
+				curr = cn.WithoutMark()
+				sc = sn
+				continue
+			}
+			ckey, ok := l.s.Read(tid, curr, ds.WKey)
+			if !ok {
+				restarts++
+				break walk
+			}
+			k := int64(ckey)
+			if k == ds.KeyMax {
+				return true, nil // tail sentinel: sweep complete
+			}
+			if k > *after {
+				*after = k
+				if !fn(k) {
+					return true, nil
+				}
+				if emitted++; emitted >= iterBatch {
+					return false, nil // re-bracket before continuing
+				}
+			}
+			pred = curr
+			sp, sc = sc, sn
+			curr = cn.WithoutMark()
+		}
 	}
 }
 

@@ -27,6 +27,26 @@ func TestSortedInvariant(t *testing.T) {
 	env.AssertSafe(t)
 }
 
+// TestRestartStorm is the regression test for ROADMAP item 5: long-chain
+// churn under EBR. With head-restart finds a single operation could spin
+// through millions of steps inside one epoch-pinning bracket, ballooning
+// the retired backlog with no fault injected. Bounded restarts must keep
+// the worst op within a small multiple of the chain length and the
+// backlog near the scan threshold.
+func TestRestartStorm(t *testing.T) {
+	env := dstest.NewEnv(t, "ebr", 4, 1<<16, 2, mem.Reuse)
+	l, err := michael.New(env.S, ds.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := 6000
+	if testing.Short() {
+		ops = 2000
+	}
+	dstest.RestartStormSet(t, env, l, 256, ops, 8192)
+	env.AssertSafe(t)
+}
+
 // TestHPCompatibility pins the contrast with Harris's list (Section 6
 // Discussion): Michael's list never traverses a retired node, so hazard
 // pointers stay safe even in Unmap mode, where any access to reclaimed

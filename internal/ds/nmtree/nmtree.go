@@ -23,8 +23,6 @@
 package nmtree
 
 import (
-	"fmt"
-
 	"repro/internal/ds"
 	"repro/internal/mem"
 	"repro/internal/smr"
@@ -152,8 +150,11 @@ type seekRec struct {
 // seek descends from the root to the leaf on key's search path, tracking
 // the last untagged edge (ancestor -> successor). It never helps: flagged
 // and tagged edges are traversed as-is, which is what lets it stand inside
-// detached regions.
-func (t *Tree) seek(tid int, key int64, r *seekRec) status {
+// detached regions. steps is the caller's operation-wide traversal budget;
+// a re-seek here is already bounded (O(height), not O(structure)), so the
+// bounded-restart overhaul's cached-pred resume does not apply — the
+// counters are what the overhaul adds.
+func (t *Tree) seek(tid int, key int64, r *seekRec, steps *uint64) status {
 	r.ancestor = t.root
 	r.ancWord = WLeft
 	ancEdge, ok := t.s.ReadPtr(tid, 0, t.root, WLeft)
@@ -175,8 +176,8 @@ func (t *Tree) seek(tid int, key int64, r *seekRec) status {
 	prevWord := childWord(key, inf1)
 	cur = parentEdge.Bare()
 
-	for steps := 0; ; steps++ {
-		if steps > maxSteps {
+	for {
+		if *steps++; *steps > maxSteps {
 			return stCorrupt
 		}
 		if cur.IsNil() {
@@ -362,12 +363,18 @@ func (t *Tree) Contains(tid int, key int64) (bool, error) {
 	t.s.BeginOp(tid)
 	defer t.s.EndOp(tid)
 	var r seekRec
+	var steps, restarts uint64
+	defer func() { t.Trav.Record(steps, restarts, restarts) }()
 	for {
+		if steps > maxSteps {
+			return false, t.GuardTrip("nmtree", "contains", steps, restarts)
+		}
 		t.Phase(tid, ds.PhaseRead)
-		switch t.seek(tid, key, &r) {
+		switch t.seek(tid, key, &r, &steps) {
 		case stCorrupt:
-			return false, fmt.Errorf("%w: contains seek", ds.ErrCorrupted)
+			return false, t.GuardTrip("nmtree", "contains", steps, restarts)
 		case stRestart:
+			restarts++
 			continue
 		}
 		return r.leafKey == key, nil
@@ -395,15 +402,18 @@ func (t *Tree) Insert(tid int, key int64) (bool, error) {
 	t.s.Write(tid, newInt, WIsLeaf, 0)
 
 	var r seekRec
-	for steps := 0; ; steps++ {
+	var steps, restarts uint64
+	defer func() { t.Trav.Record(steps, restarts, restarts) }()
+	for {
 		if steps > maxSteps {
-			return false, fmt.Errorf("%w: insert retry livelock", ds.ErrCorrupted)
+			return false, t.GuardTrip("nmtree", "insert", steps, restarts)
 		}
 		t.Phase(tid, ds.PhaseRead)
-		switch t.seek(tid, key, &r) {
+		switch t.seek(tid, key, &r, &steps) {
 		case stCorrupt:
-			return false, fmt.Errorf("%w: insert seek", ds.ErrCorrupted)
+			return false, t.GuardTrip("nmtree", "insert", steps, restarts)
 		case stRestart:
+			restarts++
 			continue
 		}
 		if r.leafKey == key {
@@ -463,15 +473,18 @@ func (t *Tree) Delete(tid int, key int64) (bool, error) {
 	var r seekRec
 	injected := false
 	var victim mem.Ref
-	for steps := 0; ; steps++ {
+	var steps, restarts uint64
+	defer func() { t.Trav.Record(steps, restarts, restarts) }()
+	for {
 		if steps > maxSteps {
-			return false, fmt.Errorf("%w: delete retry livelock", ds.ErrCorrupted)
+			return false, t.GuardTrip("nmtree", "delete", steps, restarts)
 		}
 		t.Phase(tid, ds.PhaseRead)
-		switch t.seek(tid, key, &r) {
+		switch t.seek(tid, key, &r, &steps) {
 		case stCorrupt:
-			return false, fmt.Errorf("%w: delete seek", ds.ErrCorrupted)
+			return false, t.GuardTrip("nmtree", "delete", steps, restarts)
 		case stRestart:
+			restarts++
 			continue
 		}
 		if !injected {
@@ -520,6 +533,111 @@ func (t *Tree) Delete(tid int, key int64) (bool, error) {
 			return true, nil
 		}
 	}
+}
+
+// iterBatch bounds how many keys one Iterate operation bracket emits.
+const iterBatch = 512
+
+// iterWalk outcomes.
+const (
+	itOK      = iota // subtree fully swept
+	itStop           // fn returned false
+	itPause          // chunk budget reached; re-bracket and resume
+	itRestart        // rollback or transient nil glimpse; rewind from root
+	itGuard          // traversal step budget exhausted
+)
+
+var _ ds.Iterator = (*Tree)(nil)
+
+// Iterate implements ds.Iterator: an in-order barrier-based DFS over the
+// leaves. Emission is monotonic — only leaf keys greater than the cursor
+// are reported, and left subtrees that cannot contain such keys are pruned
+// — so interference rewinds the DFS to the root but never the cursor: no
+// key is reported twice, and a quiescent tree is swept in one pass.
+func (t *Tree) Iterate(tid int, fn func(key int64) bool) error {
+	after := int64(ds.KeyMin)
+	for {
+		t.s.BeginOp(tid)
+		done, err := t.iterChunk(tid, &after, fn)
+		t.s.EndOp(tid)
+		if done || err != nil {
+			return err
+		}
+	}
+}
+
+// iterChunk emits up to iterBatch leaf keys greater than *after inside one
+// operation bracket.
+func (t *Tree) iterChunk(tid int, after *int64, fn func(key int64) bool) (done bool, err error) {
+	var steps, restarts uint64
+	defer func() { t.Trav.Record(steps, restarts, restarts) }()
+	emitted := 0
+	for {
+		if steps++; steps > maxSteps {
+			return false, t.GuardTrip("nmtree", "iterate", steps, restarts)
+		}
+		t.Phase(tid, ds.PhaseRead)
+		switch t.iterWalk(tid, t.root, after, fn, &steps, &emitted) {
+		case itOK, itStop:
+			return true, nil
+		case itPause:
+			return false, nil
+		case itGuard:
+			return false, t.GuardTrip("nmtree", "iterate", steps, restarts)
+		case itRestart:
+			restarts++
+		}
+	}
+}
+
+// iterWalk recursively sweeps cur's subtree in key order. An internal
+// node's left subtree holds keys strictly below its routing key, so it is
+// skipped whenever it cannot contain a key above the cursor; the right
+// subtree is always descended. Flagged and tagged edges are traversed
+// as-is, like seek.
+func (t *Tree) iterWalk(tid int, cur mem.Ref, after *int64, fn func(key int64) bool, steps *uint64, emitted *int) int {
+	cur = cur.Bare()
+	if cur.IsNil() {
+		return itRestart // transient wide-CAS glimpse (see seek)
+	}
+	if *steps++; *steps > maxSteps {
+		return itGuard
+	}
+	isLeaf, ok := t.s.Read(tid, cur, WIsLeaf)
+	if !ok {
+		return itRestart
+	}
+	kv, ok := t.s.Read(tid, cur, WKey)
+	if !ok {
+		return itRestart
+	}
+	k := int64(kv)
+	if isLeaf == 1 {
+		if k > *after && k < inf1 {
+			*after = k
+			if !fn(k) {
+				return itStop
+			}
+			if *emitted++; *emitted >= iterBatch {
+				return itPause
+			}
+		}
+		return itOK
+	}
+	if *after+1 < k {
+		le, ok := t.s.ReadPtr(tid, 1, cur, WLeft)
+		if !ok {
+			return itRestart
+		}
+		if st := t.iterWalk(tid, le, after, fn, steps, emitted); st != itOK {
+			return st
+		}
+	}
+	re, ok := t.s.ReadPtr(tid, 2, cur, WRight)
+	if !ok {
+		return itRestart
+	}
+	return t.iterWalk(tid, re, after, fn, steps, emitted)
 }
 
 // Keys walks the tree without barriers and returns the leaf keys in order

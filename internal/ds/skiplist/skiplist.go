@@ -85,6 +85,9 @@ func (l *List) Head() mem.Ref { return l.head }
 
 const maxSteps = 1 << 22
 
+// iterBatch bounds how many keys one Iterate operation bracket emits.
+const iterBatch = 512
+
 type status uint8
 
 const (
@@ -98,12 +101,13 @@ const (
 
 func corrupt(st status) bool { return st >= stCorruptRetry }
 
-func corruptErr(st status) error {
+// corruptErr maps a corrupt status to its error: the step-budget variants
+// are typed, counted guard trips (the structure declaring it cannot make
+// progress), a nil edge is detected corruption.
+func (l *List) corruptErr(op string, st status, steps, restarts uint64) error {
 	switch st {
-	case stCorruptRetry:
-		return fmt.Errorf("%w: find retry livelock", ds.ErrCorrupted)
-	case stCorruptWalk:
-		return fmt.Errorf("%w: level walk livelock (cycle)", ds.ErrCorrupted)
+	case stCorruptRetry, stCorruptWalk:
+		return l.GuardTrip("skiplist", op, steps, restarts)
 	}
 	return fmt.Errorf("%w: nil level edge", ds.ErrCorrupted)
 }
@@ -134,12 +138,23 @@ func randomHeight(tid int, key int64) int {
 // absorbs them, and persistence still escalates to detected corruption.
 const maxNilRetries = 1 << 14
 
-func (l *List) find(tid int, key int64, preds, succs *[MaxHeight]mem.Ref) (found bool, st status) {
+// Restart policy (the bounded-restart overhaul): losing a snip CAS no
+// longer redescends the whole tower from the head — the walk re-reads
+// pred's edge at the contended level and, when pred is still unmarked
+// there, resumes the level walk from pred. Rollbacks and nil glimpses
+// still rewind completely.
+func (l *List) find(tid int, key int64, preds, succs *[MaxHeight]mem.Ref) (found bool, st status, steps, restarts uint64) {
+	var headRestarts uint64
+	defer func() { l.Trav.Record(steps, restarts, headRestarts) }()
 	nilRetries := 0
 retry:
-	for steps := 0; ; steps++ {
-		if steps > maxSteps {
-			return false, stCorruptRetry
+	for retries := 0; ; retries++ {
+		if retries > 0 {
+			restarts++
+			headRestarts++
+		}
+		if retries > maxSteps || steps > maxSteps {
+			return false, stCorruptRetry, steps, restarts
 		}
 		pred := l.head
 		// Protection slots: 0 for pred, 1 for curr, 2 for succ, rotating
@@ -147,49 +162,69 @@ retry:
 		for lv := MaxHeight - 1; lv >= 0; lv-- {
 			curr, ok := l.s.ReadPtr(tid, 1, pred, WLevel0+lv)
 			if !ok {
-				return false, stRestart
+				return false, stRestart, steps, restarts
 			}
 			if lv == MaxHeight-1 {
 				l.Hit(tid, ds.PointSearchHead, uint64(key))
 			}
 			curr = curr.WithoutMark()
+		walk:
 			for inner := 0; ; inner++ {
-				if inner > maxSteps {
-					return false, stCorruptWalk
+				if steps++; inner > maxSteps {
+					return false, stCorruptWalk, steps, restarts
 				}
 				if curr.IsNil() {
 					if nilRetries++; nilRetries > maxNilRetries {
-						return false, stCorruptNil
+						return false, stCorruptNil, steps, restarts
 					}
 					continue retry
 				}
 				succ, ok := l.s.ReadPtr(tid, 2, curr, WLevel0+lv)
 				if !ok {
-					return false, stRestart
+					return false, stRestart, steps, restarts
 				}
 				for succ.Marked() {
 					// curr is logically deleted at this level: snip it.
 					swapped, ok := l.s.CASPtr(tid, pred, WLevel0+lv, curr, succ.WithoutMark())
 					if !ok {
-						return false, stRestart
+						return false, stRestart, steps, restarts
 					}
 					if !swapped {
-						continue retry
+						// Contention: pred's edge at this level moved. Re-read
+						// it; if pred is still unmarked here, resume the walk
+						// at this level instead of redescending from the head.
+						restarts++
+						if l.Opt.HeadRestart {
+							headRestarts++
+							continue retry
+						}
+						pn, ok := l.s.ReadPtr(tid, 1, pred, WLevel0+lv)
+						if !ok {
+							return false, stRestart, steps, restarts
+						}
+						if pn.Marked() {
+							// pred itself is deleted at this level; the
+							// descent that chose it is stale.
+							headRestarts++
+							continue retry
+						}
+						curr = pn.WithoutMark()
+						continue walk
 					}
 					curr = succ.WithoutMark()
 					if curr.IsNil() {
 						if nilRetries++; nilRetries > maxNilRetries {
-							return false, stCorruptNil
+							return false, stCorruptNil, steps, restarts
 						}
 						continue retry
 					}
 					if succ, ok = l.s.ReadPtr(tid, 2, curr, WLevel0+lv); !ok {
-						return false, stRestart
+						return false, stRestart, steps, restarts
 					}
 				}
 				ckey, ok := l.s.Read(tid, curr, ds.WKey)
 				if !ok {
-					return false, stRestart
+					return false, stRestart, steps, restarts
 				}
 				l.Hit(tid, ds.PointSearchVisit, ckey)
 				if int64(ckey) < key {
@@ -204,9 +239,9 @@ retry:
 		}
 		skey, ok := l.s.Read(tid, succs[0], ds.WKey)
 		if !ok {
-			return false, stRestart
+			return false, stRestart, steps, restarts
 		}
-		return int64(skey) == key, stOK
+		return int64(skey) == key, stOK, steps, restarts
 	}
 }
 
@@ -219,9 +254,9 @@ func (l *List) Contains(tid int, key int64) (bool, error) {
 	var preds, succs [MaxHeight]mem.Ref
 	for {
 		l.Phase(tid, ds.PhaseRead)
-		found, st := l.find(tid, key, &preds, &succs)
+		found, st, steps, restarts := l.find(tid, key, &preds, &succs)
 		if corrupt(st) {
-			return false, corruptErr(st)
+			return false, l.corruptErr("contains", st, steps, restarts)
 		}
 		if st == stRestart {
 			continue
@@ -245,9 +280,9 @@ func (l *List) Insert(tid int, key int64) (bool, error) {
 	var preds, succs [MaxHeight]mem.Ref
 	for {
 		l.Phase(tid, ds.PhaseRead)
-		found, st := l.find(tid, key, &preds, &succs)
+		found, st, steps, restarts := l.find(tid, key, &preds, &succs)
 		if corrupt(st) {
-			return false, corruptErr(st)
+			return false, l.corruptErr("insert", st, steps, restarts)
 		}
 		if st == stRestart {
 			continue
@@ -328,7 +363,7 @@ func (l *List) linkUpper(tid int, key int64, n mem.Ref, height int, preds, succs
 			if swapped {
 				break
 			}
-			found, st := l.find(tid, key, preds, succs)
+			found, st, _, _ := l.find(tid, key, preds, succs)
 			if st != stOK || !found || succs[0] != n {
 				return
 			}
@@ -345,9 +380,9 @@ func (l *List) Delete(tid int, key int64) (bool, error) {
 	var preds, succs [MaxHeight]mem.Ref
 	for {
 		l.Phase(tid, ds.PhaseRead)
-		found, st := l.find(tid, key, &preds, &succs)
+		found, st, steps, restarts := l.find(tid, key, &preds, &succs)
 		if corrupt(st) {
-			return false, corruptErr(st)
+			return false, l.corruptErr("delete", st, steps, restarts)
 		}
 		if st == stRestart {
 			continue
@@ -401,8 +436,8 @@ func (l *List) Delete(tid int, key int64) (bool, error) {
 			}
 			if swapped {
 				// We own the deletion: snip everywhere, then retire.
-				if _, st := l.find(tid, key, &preds, &succs); corrupt(st) {
-					return false, corruptErr(st)
+				if _, st, steps, restarts := l.find(tid, key, &preds, &succs); corrupt(st) {
+					return false, l.corruptErr("delete", st, steps, restarts)
 				}
 				l.s.Retire(tid, victim)
 				return true, nil
@@ -410,6 +445,84 @@ func (l *List) Delete(tid int, key int64) (bool, error) {
 		}
 		// Lost the marking race (or rolled back): re-find; if the key is
 		// gone the competing delete won and ours returns false.
+	}
+}
+
+var _ ds.Iterator = (*List)(nil)
+
+// Iterate implements ds.Iterator: an ascending barrier-based walk along
+// level 0, skipping marked nodes without snipping them. Emission is
+// monotonic (each chunk only reports keys greater than the last emitted
+// one), so interference rewinds the walk but never the emission cursor —
+// no key is reported twice, and a quiescent list is swept in one pass.
+func (l *List) Iterate(tid int, fn func(key int64) bool) error {
+	after := int64(ds.KeyMin)
+	for {
+		l.s.BeginOp(tid)
+		done, err := l.iterChunk(tid, &after, fn)
+		l.s.EndOp(tid)
+		if done || err != nil {
+			return err
+		}
+	}
+}
+
+// iterChunk emits up to iterBatch unmarked level-0 keys greater than
+// *after inside one operation bracket; rollbacks and nil glimpses rewind
+// the walk to the head.
+func (l *List) iterChunk(tid int, after *int64, fn func(key int64) bool) (done bool, err error) {
+	var steps, restarts uint64
+	defer func() { l.Trav.Record(steps, restarts, restarts) }()
+	emitted := 0
+	for {
+		if steps++; steps > maxSteps {
+			return false, l.GuardTrip("skiplist", "iterate", steps, restarts)
+		}
+		l.Phase(tid, ds.PhaseRead)
+		sc := 1
+		pn, ok := l.s.ReadPtr(tid, sc, l.head, WLevel0)
+		if !ok {
+			restarts++
+			continue
+		}
+		curr := pn.WithoutMark()
+	walk:
+		for {
+			if steps++; steps > maxSteps {
+				return false, l.GuardTrip("skiplist", "iterate", steps, restarts)
+			}
+			if curr.IsNil() {
+				// A transient wide-CAS glimpse (see find); rewind.
+				restarts++
+				break walk
+			}
+			if curr == l.tail {
+				return true, nil // sweep complete
+			}
+			sn := 3 - sc // alternate over {1, 2}: curr in sc, next in sn
+			cn, ok := l.s.ReadPtr(tid, sn, curr, WLevel0)
+			if !ok {
+				restarts++
+				break walk
+			}
+			ckey, ok := l.s.Read(tid, curr, ds.WKey)
+			if !ok {
+				restarts++
+				break walk
+			}
+			k := int64(ckey)
+			if !cn.Marked() && k > *after && k != ds.KeyMax {
+				*after = k
+				if !fn(k) {
+					return true, nil
+				}
+				if emitted++; emitted >= iterBatch {
+					return false, nil // re-bracket before continuing
+				}
+			}
+			curr = cn.WithoutMark()
+			sc = sn
+		}
 	}
 }
 

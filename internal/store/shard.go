@@ -150,26 +150,46 @@ func (sh *shard) drain() {
 	}
 }
 
-// snapshot reads the shard's current set contents by scanning the
-// store's key universe through the set itself, on the maintenance tid.
-// Going through the operation API (rather than raw structure walks)
-// keeps the scan safe even when a faulted worker never drained: a
-// concurrent straggler and the scan are just two lock-free operations.
-func (sh *shard) snapshot(keyRange int, route func(int64) int) ([]int64, error) {
-	var keys []int64
+// snapshot reads the shard's current set contents on the maintenance
+// tid. The default path walks the structure's iterator — O(live keys),
+// one probe per emitted key — so the cost no longer scales with the
+// store's key universe. scan forces the legacy fallback: a Contains
+// probe of every key in [0, keyRange) routed to this shard, O(universe)
+// — kept as the EXP-TRAVERSE baseline arm and for any future structure
+// without an iterator. Both paths go through guarded operations (never
+// raw structure walks), so the snapshot stays safe even when a faulted
+// worker never drained: a concurrent straggler and the snapshot are
+// just two lock-free operations. probes counts membership reads either
+// way — the observable the traverse bench and CI bound.
+func (sh *shard) snapshot(keyRange int, route func(int64) int, scan bool) (keys []int64, probes uint64, err error) {
+	it, ok := sh.set.(ds.Iterator)
+	if !scan && ok {
+		err = it.Iterate(sh.maint, func(k int64) bool {
+			probes++
+			if route(k) == sh.id {
+				keys = append(keys, k)
+			}
+			return true
+		})
+		if err != nil {
+			return nil, probes, err
+		}
+		return keys, probes, nil
+	}
 	for k := int64(0); k < int64(keyRange); k++ {
 		if route(k) != sh.id {
 			continue
 		}
+		probes++
 		ok, err := sh.set.Contains(sh.maint, k)
 		if err != nil {
-			return nil, err
+			return nil, probes, err
 		}
 		if ok {
 			keys = append(keys, k)
 		}
 	}
-	return keys, nil
+	return keys, probes, nil
 }
 
 // replay inserts a snapshot into the shard before it starts serving
@@ -198,6 +218,12 @@ func (sh *shard) gauges() ShardGauges {
 	g.MaxRetired = as.MaxRetired()
 	g.Active = as.Active()
 	g.MaxActive = as.MaxActive()
+	if tr, ok := sh.set.(ds.TravReporter); ok {
+		tv := tr.TravSnapshot()
+		g.TravSteps = tv.Steps
+		g.TravRestarts = tv.Restarts
+		g.GuardTrips = tv.GuardTrips
+	}
 	return g
 }
 
@@ -227,5 +253,13 @@ func (sh *shard) stats() ShardStats {
 	sc := sh.scheme.Stats().Snapshot()
 	s.Restarts = sc.Restarts
 	s.StaleUses = sc.StaleUses
+	if tr, ok := sh.set.(ds.TravReporter); ok {
+		tv := tr.TravSnapshot()
+		s.TravSteps = tv.Steps
+		s.TravRestarts = tv.Restarts
+		s.TravHeadRestarts = tv.HeadRestarts
+		s.GuardTrips = tv.GuardTrips
+		s.MaxOpSteps = tv.MaxOpSteps
+	}
 	return s
 }

@@ -42,6 +42,27 @@ type ShardStats struct {
 	// Scheme counters.
 	Restarts  uint64 `json:"restarts"`
 	StaleUses uint64 `json:"stale_uses"`
+
+	// Traversal counters (ds.TravSnapshot): the hot-path observables the
+	// bounded-restart overhaul adds. TravRestarts counts every traversal
+	// restart, TravHeadRestarts the subset that rewound to the head;
+	// bounded finds keep the latter near zero under pure contention.
+	// GuardTrips counts operations aborted at the maxSteps budget, and
+	// MaxOpSteps is the worst single-operation traversal — the p99 proxy
+	// the restart-storm regression bounds.
+	TravSteps        uint64 `json:"trav_steps"`
+	TravRestarts     uint64 `json:"trav_restarts"`
+	TravHeadRestarts uint64 `json:"trav_head_restarts"`
+	GuardTrips       uint64 `json:"guard_trips"`
+	MaxOpSteps       uint64 `json:"max_op_steps"`
+
+	// Last completed migration's cost observables (zero until the slot
+	// migrates): membership probes the snapshot issued, live keys it
+	// carried, and how long clients saw ErrShardClosed. With the iterator
+	// snapshot, SnapshotProbes tracks SnapshotKeys instead of KeyRange.
+	SnapshotProbes  uint64 `json:"snapshot_probes"`
+	SnapshotKeys    uint64 `json:"snapshot_keys"`
+	SwapWindowNanos int64  `json:"swap_window_nanos"`
 }
 
 // Stats is the service-level view: every shard's counters plus their
@@ -64,6 +85,14 @@ type Stats struct {
 	Restarts       uint64 `json:"restarts"`
 	StaleUses      uint64 `json:"stale_uses"`
 	Migrations     uint64 `json:"migrations"`
+
+	// Traversal aggregate: sums across shards, except MaxOpSteps which is
+	// the store-wide worst single operation.
+	TravSteps        uint64 `json:"trav_steps"`
+	TravRestarts     uint64 `json:"trav_restarts"`
+	TravHeadRestarts uint64 `json:"trav_head_restarts"`
+	GuardTrips       uint64 `json:"guard_trips"`
+	MaxOpSteps       uint64 `json:"max_op_steps"`
 }
 
 // Stats aggregates every shard's counters on read. Safe to call while
@@ -82,6 +111,9 @@ func (st *Store) Stats() Stats {
 		ss := sh.stats()
 		ss.Epoch = st.meta[i].epoch
 		ss.Migrations = st.meta[i].migrations
+		ss.SnapshotProbes = st.meta[i].snapshotProbes
+		ss.SnapshotKeys = st.meta[i].snapshotKeys
+		ss.SwapWindowNanos = st.meta[i].swapWindow.Nanoseconds()
 		s.Shards = append(s.Shards, ss)
 		s.Ops += ss.Ops
 		s.Hits += ss.Hits
@@ -96,6 +128,13 @@ func (st *Store) Stats() Stats {
 		s.Restarts += ss.Restarts
 		s.StaleUses += ss.StaleUses
 		s.Migrations += ss.Migrations
+		s.TravSteps += ss.TravSteps
+		s.TravRestarts += ss.TravRestarts
+		s.TravHeadRestarts += ss.TravHeadRestarts
+		s.GuardTrips += ss.GuardTrips
+		if ss.MaxOpSteps > s.MaxOpSteps {
+			s.MaxOpSteps = ss.MaxOpSteps
+		}
 	}
 	return s
 }
@@ -112,6 +151,12 @@ type ShardGauges struct {
 	MaxRetired uint64 `json:"max_retired"`
 	Active     uint64 `json:"active"`
 	MaxActive  uint64 `json:"max_active"`
+	// Traversal gauges: cumulative steps and restarts plus guard trips,
+	// so the monitor can spot a restart storm (restart rate spiking while
+	// op progress stalls) as it happens, not post-mortem.
+	TravSteps    uint64 `json:"trav_steps"`
+	TravRestarts uint64 `json:"trav_restarts"`
+	GuardTrips   uint64 `json:"guard_trips"`
 }
 
 // Gauges snapshots every shard's gauge view. Safe to call while the store

@@ -66,6 +66,10 @@ type ShardSpec struct {
 	// internal/chaos arms breakpoints on it to park shard workers at
 	// reclamation-critical moments. Nil costs nothing on the serving path.
 	Gate sched.Gate
+	// HeadRestart forces the shard's structure back onto unbounded
+	// head-restart finds (ds.Options.HeadRestart) — the restart-storm
+	// baseline arm of the traverse benchmark. Leave false in deployments.
+	HeadRestart bool
 }
 
 // Config assembles a store.
@@ -93,6 +97,11 @@ type Config struct {
 	// stall wait is what keeps migration a remedy that works *during*
 	// the fault it remedies. 0 selects 100ms.
 	MigrateGrace time.Duration
+	// SnapshotScan forces MigrateShard's snapshot back onto the legacy
+	// O(universe) Contains probe of [0, KeyRange) instead of the
+	// structures' O(live-keys) iterator. Kept as the traverse benchmark's
+	// baseline arm; leave false in deployments.
+	SnapshotScan bool
 }
 
 // Uniform returns n copies of spec — the homogeneous deployment.
@@ -128,6 +137,22 @@ type shardMeta struct {
 	epoch uint64
 	// migrations counts completed live scheme migrations.
 	migrations uint64
+	// Last completed migration's cost observables: membership probes the
+	// snapshot issued, live keys it carried over, and the swap window —
+	// the span from admission stop to the rebuilt shard's attach, i.e.
+	// how long clients saw ErrShardClosed.
+	snapshotProbes uint64
+	snapshotKeys   uint64
+	swapWindow     time.Duration
+}
+
+// migrationRec carries one migration's cost observables into attachShard,
+// which records them in the slot's meta under the same exclusive lock
+// that installs the new shard.
+type migrationRec struct {
+	start  time.Time
+	probes uint64
+	keys   uint64
 }
 
 // Store is the sharded service frontend. All methods are safe for
@@ -224,7 +249,7 @@ func newShard(id int, spec ShardSpec, cfg Config) (*shard, error) {
 	if err != nil {
 		return nil, err
 	}
-	set, err := info.NewSet(s, ds.Options{Gate: spec.Gate})
+	set, err := info.NewSet(s, ds.Options{Gate: spec.Gate, HeadRestart: spec.HeadRestart})
 	if err != nil {
 		return nil, err
 	}
@@ -356,8 +381,9 @@ func (st *Store) detachShard(s int) (*shard, error) {
 // atomically under the exclusive lock, provided the slot still holds the
 // shard the caller detached (a concurrent reopen may have raced the
 // rebuild; the loser is torn down, not leaked). The slot's epoch always
-// advances; migrated additionally bumps the migration count.
-func (st *Store) attachShard(s int, old, repl *shard, migrated bool) error {
+// advances; a non-nil mig additionally bumps the migration count and
+// records the migration's cost observables (probes, keys, swap window).
+func (st *Store) attachShard(s int, old, repl *shard, mig *migrationRec) error {
 	st.mu.Lock()
 	if st.closed {
 		st.mu.Unlock()
@@ -371,8 +397,11 @@ func (st *Store) attachShard(s int, old, repl *shard, migrated bool) error {
 	}
 	st.shards[s] = repl
 	st.meta[s].epoch++
-	if migrated {
+	if mig != nil {
 		st.meta[s].migrations++
+		st.meta[s].snapshotProbes = mig.probes
+		st.meta[s].snapshotKeys = mig.keys
+		st.meta[s].swapWindow = time.Since(mig.start)
 	}
 	st.mu.Unlock()
 	return nil
@@ -423,7 +452,7 @@ func (st *Store) ReopenShard(s int) error {
 	if err != nil {
 		return fmt.Errorf("store: reopen shard %d: %w", s, err)
 	}
-	if err := st.attachShard(s, old, sh, false); err != nil {
+	if err := st.attachShard(s, old, sh, nil); err != nil {
 		return fmt.Errorf("store: reopen shard %d: %w", s, err)
 	}
 	return nil
@@ -472,6 +501,7 @@ func (st *Store) MigrateShard(s int, scheme string) error {
 	if !registry.Applicable(scheme, info.Name) {
 		return fmt.Errorf("store: migrate shard %d: scheme %s is not applicable to %s (Appendix E)", s, scheme, info.Name)
 	}
+	swapStart := time.Now()
 	old, err := st.detachShard(s)
 	if err != nil {
 		return err
@@ -483,7 +513,7 @@ func (st *Store) MigrateShard(s int, scheme string) error {
 		// heap is about to be orphaned wholesale anyway.
 		old.drain()
 	}
-	keys, err := old.snapshot(st.keyRange, st.shardOf)
+	keys, probes, err := old.snapshot(st.keyRange, st.shardOf, st.cfg.SnapshotScan)
 	if err != nil {
 		return fmt.Errorf("store: migrate shard %d: snapshot: %w (shard left closed)", s, err)
 	}
@@ -497,7 +527,8 @@ func (st *Store) MigrateShard(s int, scheme string) error {
 		repl.teardown()
 		return fmt.Errorf("store: migrate shard %d: replay: %w (shard left closed)", s, err)
 	}
-	if err := st.attachShard(s, old, repl, true); err != nil {
+	rec := &migrationRec{start: swapStart, probes: probes, keys: uint64(len(keys))}
+	if err := st.attachShard(s, old, repl, rec); err != nil {
 		return fmt.Errorf("store: migrate shard %d: %w", s, err)
 	}
 	return nil

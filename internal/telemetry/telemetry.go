@@ -38,6 +38,14 @@ type Point struct {
 	Active uint64 `json:"active"`
 	// MaxActive is the paper's max_active — the robustness bound's budget.
 	MaxActive uint64 `json:"max_active"`
+	// TravSteps and TravRestarts are the domain's cumulative traversal
+	// step and restart counters, and GuardTrips counts operations aborted
+	// at the traversal step budget. A restart storm shows as TravRestarts
+	// (or GuardTrips) climbing while Ops stalls — the live signal that a
+	// ballooning Retired backlog is traversal-induced, not a scheme fault.
+	TravSteps    uint64 `json:"trav_steps"`
+	TravRestarts uint64 `json:"trav_restarts"`
+	GuardTrips   uint64 `json:"guard_trips"`
 }
 
 // Series is a fixed-capacity ring buffer of Points: the sampler pushes,

@@ -283,6 +283,42 @@ func WriteAdaptiveArtifact(w io.Writer, res AdaptiveResult) error {
 	return bench.WriteAdaptiveReport(w, res)
 }
 
+// SetIterator is the optional O(live-keys) iteration surface every
+// registry set structure implements: a quiescent shard enumerates its
+// exact contents, a concurrently-mutated one every persistently-present
+// key, and no key is ever reported twice in a pass (see internal/ds).
+// Store migration snapshots run on it.
+type SetIterator = ds.Iterator
+
+// TravSnapshot is a structure's traversal-counter snapshot: steps,
+// restarts (head restarts separately), step-budget guard trips, and the
+// worst single-operation traversal.
+type TravSnapshot = ds.TravSnapshot
+
+// ErrTraversalGuard is the sentinel inside the typed error a traversal
+// returns after exhausting its step budget (a livelocked or corrupted
+// walk made detectable instead of a hang).
+var ErrTraversalGuard = ds.ErrTraversalGuard
+
+// TraverseConfig sizes the traversal hot-path experiment: the
+// head-restart vs bounded-restart churn storm and the Contains-scan vs
+// iterator migration-snapshot pair.
+type TraverseConfig = bench.TraverseConfig
+
+// TraverseResult is the experiment outcome: both storm arms, both
+// snapshot arms, and the headline swap-window improvement.
+type TraverseResult = bench.TraverseResult
+
+// RunTraverse runs the traversal experiment (the erabench -exp traverse
+// experiment is a thin wrapper over this).
+func RunTraverse(cfg TraverseConfig) (TraverseResult, error) { return bench.RunTraverse(cfg) }
+
+// WriteTraverseArtifact emits the experiment as the machine-readable
+// BENCH_traverse.json artifact format.
+func WriteTraverseArtifact(w io.Writer, res TraverseResult) error {
+	return bench.WriteTraverseReport(w, res)
+}
+
 // RobustnessVerdict audits a sampled backlog series against a declared
 // robustness class (see internal/telemetry): points are fitted from
 // sampler-relative elapsed time `from` onward against the budget of a
