@@ -10,6 +10,7 @@
 //	erabench -exp chaos        # EXP-CHAOS:   live robustness audit (erachaos)
 //	erabench -exp adaptive     # EXP-ADAPT:   static vs adaptive reclamation
 //	erabench -exp traverse     # EXP-TRAVERSE: bounded finds + iterator snapshot
+//	erabench -exp obs          # EXP-OBS:     fault→verdict→migration causal timelines
 //	erabench -exp all          # everything
 //
 // The throughput experiments are workload-driven: -workload names the key
@@ -37,7 +38,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: matrix|space|scale|stall|throughput|structures|michael|service|chaos|adaptive|traverse|all")
+	exp := flag.String("exp", "all", "experiment: matrix|space|scale|stall|throughput|structures|michael|service|chaos|adaptive|traverse|obs|all")
 	shards := flag.Int("shards", 4, "shard count for the service experiment")
 	duration := flag.Duration("duration", 800*time.Millisecond, "traffic window for the adaptive experiment")
 	adaptiveJSON := flag.String("adaptive-json", "BENCH_adaptive.json",
@@ -46,6 +47,14 @@ func main() {
 		"traverse artifact path, written by the traverse experiment (empty disables)")
 	traverseShort := flag.Bool("traverse-short", false,
 		"run EXP-TRAVERSE at reduced scale (the CI smoke configuration)")
+	obsJSON := flag.String("obs-json", "BENCH_obs.json",
+		"observability artifact path, written by the obs experiment (empty disables)")
+	obsTrace := flag.String("obs-trace", "BENCH_obs_trace.json",
+		"Chrome trace-event file for the obs experiment (chrome://tracing; empty disables)")
+	obsShort := flag.Bool("obs-short", false,
+		"run EXP-OBS at reduced scale (the CI smoke configuration)")
+	obsAddr := flag.String("obs-addr", "",
+		"serve the live observability plane on this address during the obs experiment (e.g. :8080)")
 	k := flag.Int("k", 800, "churn length for space/matrix experiments")
 	ops := flag.Int("ops", 20000, "operations per thread for throughput experiments")
 	keyRange := flag.Int("keyrange", 1024, "key universe for throughput experiments")
@@ -58,7 +67,7 @@ func main() {
 	jsonPath := flag.String("json", "", "write throughput rows as a JSON benchmark artifact to this path")
 	flag.Parse()
 
-	exps := []string{"matrix", "space", "scale", "stall", "throughput", "structures", "michael", "service", "chaos", "adaptive", "traverse", "all"}
+	exps := []string{"matrix", "space", "scale", "stall", "throughput", "structures", "michael", "service", "chaos", "adaptive", "traverse", "obs", "all"}
 	known := false
 	for _, e := range exps {
 		known = known || e == *exp
@@ -131,6 +140,26 @@ func main() {
 			os.Exit(2)
 		}
 		traverseFile = f
+	}
+	// And for the obs experiment's artifact pair (timeline + trace).
+	var obsFile, obsTraceFile *os.File
+	if want("obs") {
+		if *obsJSON != "" {
+			f, err := os.Create(*obsJSON)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "erabench: %v\n", err)
+				os.Exit(2)
+			}
+			obsFile = f
+		}
+		if *obsTrace != "" {
+			f, err := os.Create(*obsTrace)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "erabench: %v\n", err)
+				os.Exit(2)
+			}
+			obsTraceFile = f
+		}
 	}
 
 	// Throughput-shaped rows accumulate here for the -json artifact.
@@ -331,6 +360,47 @@ func main() {
 				fmt.Printf("wrote %s\n", *traverseJSON)
 			}
 			return nil
+		})
+	}
+	if want("obs") {
+		run("EXP-OBS: flight recorder + causal fault→verdict→migration timelines", func() error {
+			// The canned incident drill: a small adaptive fleet on ebr,
+			// one staggered self-healing delayed-release fault per shard,
+			// the full plane on tape — then the joined incident chains,
+			// the SLO trace, and the recorder's own overhead A/B.
+			cfg := bench.ObsConfig{Seed: *seed, ObsAddr: *obsAddr}
+			if *obsShort {
+				cfg.Duration = 700 * time.Millisecond
+				cfg.OverheadRoundDuration = 100 * time.Millisecond
+			}
+			res, err := bench.RunObs(cfg)
+			if err != nil {
+				return err
+			}
+			bench.WriteObsTable(os.Stdout, res)
+			if obsFile != nil {
+				err := bench.WriteObsReport(obsFile, res)
+				if cerr := obsFile.Close(); err == nil {
+					err = cerr
+				}
+				obsFile = nil
+				if err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", *obsJSON)
+			}
+			if obsTraceFile != nil {
+				err := bench.WriteObsTrace(obsTraceFile, res)
+				if cerr := obsTraceFile.Close(); err == nil {
+					err = cerr
+				}
+				obsTraceFile = nil
+				if err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", *obsTrace)
+			}
+			return bench.CheckObs(res)
 		})
 	}
 	if want("michael") {

@@ -8,6 +8,7 @@
 //	erachaos -schemes ebr,qsbr,he,hp,vbr      # wider sweep
 //	erachaos -faults stall,delayed-release    # compound adversity
 //	erachaos -duration 2s -strict             # longer run; exit 1 on violation
+//	erachaos -duration 5s -obs :8080          # live /metrics + /timeline + pprof
 //
 // The default run injects a reclamation-critical stall into every shard
 // an eighth of the way into the traffic window and holds it to the end:
@@ -50,6 +51,8 @@ func main() {
 		fmt.Sprintf("op-mix schedule %v", workload.ScheduleNames()))
 	opmix := flag.String("opmix", "50/25/25", "base contains/insert/delete percentages")
 	seed := flag.Uint64("seed", 42, "workload seed: equal seeds draw identical client streams")
+	obsAddr := flag.String("obs", "",
+		"serve the live observability plane (/metrics, /timeline, /debug/pprof/) on this address during the run, e.g. :8080")
 	jsonPath := flag.String("json", "BENCH_chaos.json", "chaos artifact path (empty disables)")
 	strict := flag.Bool("strict", false, "exit 1 when any audited verdict violates its declared class")
 	flag.Parse()
@@ -103,6 +106,9 @@ func main() {
 
 	fmt.Printf("erachaos: %d shards (%s) × %s, faults %v, %s window, workload %s/%s\n",
 		len(schemeList), strings.Join(schemeList, ","), info.Name, faultList, *duration, *wl, *mix)
+	if *obsAddr != "" {
+		fmt.Printf("erachaos: observability plane will serve on %s (/metrics, /timeline, /debug/pprof/)\n", *obsAddr)
+	}
 	res, err := bench.RunChaos(bench.ChaosConfig{
 		Schemes:         schemeList,
 		Structure:       *dsName,
@@ -116,12 +122,16 @@ func main() {
 		Workload:        *wl,
 		Schedule:        *mix,
 		Seed:            *seed,
+		ObsAddr:         *obsAddr,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "erachaos: %v\n", err)
 		os.Exit(1)
 	}
 	bench.WriteChaosTable(os.Stdout, res)
+	if res.ObsURL != "" {
+		fmt.Printf("observability plane served at %s\n", res.ObsURL)
+	}
 	if jsonFile != nil {
 		err := bench.WriteChaosReport(jsonFile, res)
 		if cerr := jsonFile.Close(); err == nil {

@@ -6,6 +6,7 @@
 //	eraserve -shards 4 -scheme hp,ebr -clients 16 -batch 32
 //	eraserve -shards 4 -duration 2s            # duration-boxed window
 //	eraserve -shards 4 -scheme ebr -adapt      # adaptive reclamation live
+//	eraserve -duration 10s -adapt -obs :8080   # live /metrics + /timeline + pprof
 //
 // -scheme takes a comma-separated list cycled across shards, so
 // heterogeneous deployments (the ERA trade-off made per shard: robust HP
@@ -13,9 +14,12 @@
 // away. -duration switches from op-boxed to a wall-clock window (the
 // long-lived demo shape); -adapt additionally runs the adaptive
 // reclamation controller over the store, escalating/de-escalating each
-// shard along -ladder as its live robustness verdicts demand. The
-// measurement is written as a machine-readable artifact
-// (BENCH_service.json by default; -json "" disables).
+// shard along -ladder as its live robustness verdicts demand. -obs
+// serves the observability plane for the duration of the run: Prometheus
+// text on /metrics, the flight-recorder event stream on /timeline, and
+// live profiling under /debug/pprof/. The measurement is written as a
+// machine-readable artifact (BENCH_service.json by default; -json ""
+// disables).
 package main
 
 import (
@@ -53,6 +57,8 @@ func main() {
 		fmt.Sprintf("op-mix schedule %v", workload.ScheduleNames()))
 	opmix := flag.String("opmix", "50/25/25", "base contains/insert/delete percentages")
 	seed := flag.Uint64("seed", 42, "workload seed")
+	obsAddr := flag.String("obs", "",
+		"serve the live observability plane (/metrics, /timeline, /debug/pprof/) on this address during the run, e.g. :8080")
 	jsonPath := flag.String("json", "BENCH_service.json", "service artifact path (empty disables)")
 	flag.Parse()
 
@@ -129,6 +135,10 @@ func main() {
 		Seed:            *seed,
 		Duration:        *duration,
 		Adapt:           adaptCfg,
+		ObsAddr:         *obsAddr,
+	}
+	if *obsAddr != "" {
+		fmt.Printf("eraserve: observability plane will serve on %s (/metrics, /timeline, /debug/pprof/)\n", *obsAddr)
 	}
 	mode := fmt.Sprintf("%d ops/client", *ops)
 	if *duration > 0 {
@@ -145,6 +155,9 @@ func main() {
 		os.Exit(1)
 	}
 	bench.WriteServiceTable(os.Stdout, res)
+	if res.ObsURL != "" {
+		fmt.Printf("observability plane served at %s\n", res.ObsURL)
+	}
 	if jsonFile != nil {
 		err := bench.WriteServiceReport(jsonFile, res)
 		if cerr := jsonFile.Close(); err == nil {

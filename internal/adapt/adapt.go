@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/ds/registry"
+	"repro/internal/obs/rec"
 	"repro/internal/smr"
 	"repro/internal/smr/all"
 	"repro/internal/store"
@@ -69,6 +70,14 @@ type Config struct {
 	// MaxMigrations caps migrations per shard (a flapping valve); 0
 	// selects 16, negative removes the cap.
 	MaxMigrations int
+	// Clock, when non-nil, is the shared run clock episode timestamps
+	// are stamped on (the controller used to keep a private time.Since
+	// zero, which skewed its log against the sampler's and the chaos
+	// engine's). Nil starts a private clock at Start.
+	Clock *rec.Clock
+	// Recorder, when non-nil, mirrors every ladder move into the flight
+	// recorder as it is decided.
+	Recorder *rec.Recorder
 }
 
 func (cfg *Config) fill() {
@@ -137,7 +146,7 @@ type Controller struct {
 	props []smr.Props    // per ladder rung
 	state []shardState
 
-	start    time.Time
+	clock    *rec.Clock
 	stop     chan struct{}
 	done     chan struct{}
 	stopOnce sync.Once
@@ -218,7 +227,9 @@ func (c *Controller) Episodes() []Episode {
 
 // Start launches the decision loop.
 func (c *Controller) Start() {
-	c.start = time.Now()
+	if c.clock = c.cfg.Clock; c.clock == nil {
+		c.clock = rec.NewClock()
+	}
 	go func() {
 		defer close(c.done)
 		t := time.NewTicker(c.cfg.Interval)
@@ -349,10 +360,12 @@ func (c *Controller) migrate(s, from, to int, v telemetry.Verdict, reason string
 		Shard:   s,
 		From:    c.cfg.Ladder[from],
 		To:      c.cfg.Ladder[to],
-		At:      time.Since(c.start),
+		At:      c.clock.Now(),
 		Audited: v.Audited,
 		Reason:  reason,
 	}
+	c.cfg.Recorder.Record(rec.KindLadderMove, s, 0, uint64(to), uint64(from),
+		ep.From+"→"+ep.To+": "+reason)
 	// Attempts count either way, and either way the shard cools down:
 	// a migration that keeps failing must back off and eventually stop
 	// (MaxMigrations), not retry on every tick forever.

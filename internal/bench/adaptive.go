@@ -321,7 +321,7 @@ func runAdaptiveArm(cfg AdaptiveConfig, adaptive bool) (arm AdaptiveArm, class s
 		finalVerdict = mon.Verdict(0)
 		engine.Stop()
 	}()
-	ops, opErrs, lat, err := runTimedClients(st, src, cfg.Clients, cfg.Batch, deadline)
+	ops, opErrs, lat, err := runTimedClients(st, src, cfg.Clients, cfg.Batch, deadline, nil)
 	<-healed
 	sampler.Stop()
 	if err != nil {

@@ -7,6 +7,8 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/hist"
+	"repro/internal/obs"
+	"repro/internal/obs/rec"
 	"repro/internal/sched"
 	"repro/internal/smr/all"
 	"repro/internal/store"
@@ -70,6 +72,12 @@ type ChaosConfig struct {
 	Schedule string
 	// Seed makes client streams deterministic.
 	Seed uint64
+	// ObsAddr, when non-empty, serves the live observability plane
+	// (/metrics, /timeline, /debug/pprof/) on this address for the
+	// duration of the run; shard scans, guard trips, and every fault
+	// fire/heal land on a shared flight recorder the /timeline endpoint
+	// exposes. The bound URL is reported in the result.
+	ObsAddr string
 }
 
 func (cfg *ChaosConfig) fill() {
@@ -187,14 +195,18 @@ type ChaosResult struct {
 	Agg    ChaosAggregate `json:"aggregate"`
 	// Consistent reports that no audit contradicted a declared class.
 	Consistent bool `json:"consistent"`
+	// ObsURL is the live plane's bound URL (ObsAddr runs only).
+	ObsURL string `json:"obs_url,omitempty"`
 }
 
 // runTimedClients drives closed-loop clients until deadline, tolerating
 // per-operation errors (they are what faults — and migration windows —
 // look like from outside). Returns total ops, op errors, and merged
-// request latencies. Shared by the chaos, adaptive, and duration-boxed
-// service experiments.
-func runTimedClients(st *store.Store, src *workload.Source, clients, batchSize int, deadline time.Time) (uint64, uint64, hist.Latency, error) {
+// request latencies. Shared by the chaos, adaptive, duration-boxed
+// service, and observability experiments. each, when non-nil, receives
+// every request latency live (the SLO monitor's feed); it is called from
+// every client goroutine concurrently and must be cheap and thread-safe.
+func runTimedClients(st *store.Store, src *workload.Source, clients, batchSize int, deadline time.Time, each func(time.Duration)) (uint64, uint64, hist.Latency, error) {
 	var wg sync.WaitGroup
 	ops := make([]uint64, clients)
 	errs := make([]uint64, clients)
@@ -220,7 +232,11 @@ func runTimedClients(st *store.Store, src *workload.Source, clients, batchSize i
 					fail[c] = err
 					return
 				}
-				lats[c].Record(time.Since(t0))
+				d := time.Since(t0)
+				lats[c].Record(d)
+				if each != nil {
+					each(d)
+				}
 				ops[c] += uint64(len(batch))
 				for _, r := range res {
 					if r.Err != nil {
@@ -265,7 +281,18 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 			Gate:      gates[i],
 		}
 	}
-	st, err := store.New(store.Config{Shards: specs, KeyRange: cfg.KeyRange})
+	// With ObsAddr set, the plane serves live throughout: shard scans and
+	// guard trips from the store, fire/heal events from the engine, all
+	// on one shared run clock.
+	var (
+		clock    *rec.Clock
+		recorder *rec.Recorder
+	)
+	if cfg.ObsAddr != "" {
+		clock = rec.NewClock()
+		recorder = rec.NewRecorder(clock, 0)
+	}
+	st, err := store.New(store.Config{Shards: specs, KeyRange: cfg.KeyRange, Recorder: recorder})
 	if err != nil {
 		return ChaosResult{}, err
 	}
@@ -288,11 +315,23 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 	}
 
 	sampler := telemetry.NewSampler(
-		telemetry.Config{Interval: cfg.SampleInterval, Capacity: 4096},
+		telemetry.Config{Interval: cfg.SampleInterval, Capacity: 4096,
+			Clock: clock, Recorder: recorder},
 		storeProbe(st))
 
 	target := &chaos.Target{Store: st, Gates: gates, KeyRange: cfg.KeyRange}
 	engine := chaos.NewEngine(target)
+	engine.SetObs(clock, recorder)
+
+	var obsURL string
+	if cfg.ObsAddr != "" {
+		srv, err := obs.Serve(cfg.ObsAddr, &obs.Registry{Store: st, Sampler: sampler, Recorder: recorder})
+		if err != nil {
+			return ChaosResult{}, err
+		}
+		defer srv.Close()
+		obsURL = srv.URL
+	}
 	for _, name := range cfg.Faults {
 		for s := 0; s < nshards; s++ {
 			if err := engine.Add(name, chaos.Params{Shard: s}, chaos.OneShot(cfg.FaultAfter)); err != nil {
@@ -326,7 +365,7 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 		}
 		engine.Stop()
 	}()
-	ops, opErrs, lat, err := runTimedClients(st, src, cfg.Clients, cfg.Batch, deadline)
+	ops, opErrs, lat, err := runTimedClients(st, src, cfg.Clients, cfg.Batch, deadline, nil)
 	<-healed
 	elapsed := time.Since(start)
 	sampler.Stop()
@@ -341,6 +380,7 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 	res := ChaosResult{
 		Events:     events,
 		Consistent: true,
+		ObsURL:     obsURL,
 		Agg: ChaosAggregate{
 			Shards:   nshards,
 			Schemes:  cfg.Schemes,

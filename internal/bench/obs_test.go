@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunObsChainsComplete is the acceptance path: a faulted adaptive
+// run must produce one complete causal chain (fault → verdict →
+// migration → heal) per injected fault, with finite latencies.
+func TestRunObsChainsComplete(t *testing.T) {
+	if testing.Short() {
+		t.Skip("obs run needs a real traffic window")
+	}
+	res, err := RunObs(ObsConfig{
+		Duration:       900 * time.Millisecond,
+		OverheadRounds: -1, // the A/B is timing-sensitive; CI smoke owns it
+		Seed:           42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Timeline.Incidents); got != res.Agg.Shards {
+		t.Fatalf("got %d incidents, want one per shard (%d)", got, res.Agg.Shards)
+	}
+	for _, in := range res.Timeline.Incidents {
+		if !in.Complete {
+			t.Errorf("shard %d chain incomplete: %+v", in.Shard, in)
+		}
+		if in.DetectionLatency < 0 || in.ReactionLatency < 0 {
+			t.Errorf("shard %d latencies not finite: det=%v rea=%v",
+				in.Shard, in.DetectionLatency, in.ReactionLatency)
+		}
+		if in.Migration == "" || !strings.Contains(in.Migration, "→") {
+			t.Errorf("shard %d migration label %q", in.Shard, in.Migration)
+		}
+	}
+	if !res.Complete {
+		t.Error("result not marked complete")
+	}
+	if err := CheckObs(res); err != nil {
+		t.Errorf("CheckObs: %v", err)
+	}
+	if res.RecorderDrops != 0 {
+		t.Errorf("recorder dropped %d events — capacity default too small for the window", res.RecorderDrops)
+	}
+	if res.Sampler.Ticks == 0 {
+		t.Error("sampler health reports zero ticks")
+	}
+	if len(res.SLO.Points) == 0 {
+		t.Error("SLO monitor produced no p99 points")
+	}
+	if len(res.Episodes) == 0 {
+		t.Error("controller logged no migration episodes")
+	}
+}
+
+// TestObsReportRoundTrip pins the BENCH_obs.json schema: what the writer
+// emits, the reader (and the CI smoke's assertions) must get back.
+func TestObsReportRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("obs run needs a real traffic window")
+	}
+	res, err := RunObs(ObsConfig{
+		Duration:       400 * time.Millisecond,
+		OverheadRounds: 1,
+		// One short pair just to exercise the A/B fields; the delta
+		// itself is asserted only by the dedicated CI smoke run.
+		OverheadRoundDuration: 40 * time.Millisecond,
+		Seed:                  7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteObsReport(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReadObsReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Experiment != "obs" {
+		t.Fatalf("experiment = %q", rep.Experiment)
+	}
+	if rep.Result.Agg.Shards != res.Agg.Shards ||
+		len(rep.Result.Timeline.Incidents) != len(res.Timeline.Incidents) ||
+		rep.Result.RecorderTotal != res.RecorderTotal {
+		t.Fatal("round-trip lost fields")
+	}
+	for i, in := range rep.Result.Timeline.Incidents {
+		if in.DetectionLatency != res.Timeline.Incidents[i].DetectionLatency {
+			t.Fatalf("incident %d detection latency did not round-trip", i)
+		}
+	}
+	if rep.Result.Overhead.Rounds != 1 ||
+		rep.Result.Overhead.RecorderOnMops <= 0 || rep.Result.Overhead.RecorderOffMops <= 0 {
+		t.Fatalf("overhead A/B did not run: %+v", rep.Result.Overhead)
+	}
+
+	// The Chrome trace must be well-formed JSON with span events.
+	var trace bytes.Buffer
+	if err := WriteObsTrace(&trace, res); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(trace.Bytes(), &tf); err != nil {
+		t.Fatalf("trace not JSON: %v", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+}

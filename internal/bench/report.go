@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/adapt"
 	"repro/internal/chaos"
+	"repro/internal/obs"
 )
 
 // WriteThroughputTable renders throughput rows.
@@ -320,4 +321,81 @@ func ReadJSONReport(r io.Reader) (Report, error) {
 		return Report{}, fmt.Errorf("bench: malformed benchmark artifact: %w", err)
 	}
 	return rep, nil
+}
+
+// WriteObsTable renders EXP-OBS: one line per incident chain, the
+// controller's migration log, then the plane's own accounting.
+func WriteObsTable(w io.Writer, res ObsResult) {
+	fmt.Fprintf(w, "%-5s %-16s %10s %10s %10s %10s %-14s %8s\n",
+		"shard", "fault", "fired", "detect", "react", "healed", "migration", "complete")
+	for _, in := range res.Timeline.Incidents {
+		det, rea := "-", "-"
+		if in.DetectionLatency >= 0 {
+			det = fmtLatency(in.DetectionLatency)
+		}
+		if in.ReactionLatency >= 0 {
+			rea = fmtLatency(in.ReactionLatency)
+		}
+		healed := "-"
+		if in.HealedAt > 0 {
+			healed = in.HealedAt.Round(time.Millisecond).String()
+		}
+		fmt.Fprintf(w, "%-5d %-16s %10s %10s %10s %10s %-14s %8v\n",
+			in.Shard, in.Fault, in.FiredAt.Round(time.Millisecond),
+			det, rea, healed, in.Migration, in.Complete)
+	}
+	writeEpisodes(w, res.Episodes)
+	fmt.Fprintf(w, "flap: %d ladder moves, %d reversals, %.2f moves/s over %s\n",
+		res.Timeline.LadderMoves, res.Timeline.Reversals,
+		res.Timeline.FlapRatePerSec, res.Timeline.Span.Round(time.Millisecond))
+	fmt.Fprintf(w, "slo: p99 %s vs target %s, breached=%v, %d breach transition(s), %d points\n",
+		fmtLatency(res.SLO.P99), fmtLatency(res.SLO.Target), res.SLO.Breached,
+		res.SLO.Breaches, len(res.SLO.Points))
+	fmt.Fprintf(w, "recorder: %d events (%d dropped); sampler: %d ticks (%d skipped, %d late)\n",
+		res.RecorderTotal, res.RecorderDrops,
+		res.Sampler.Ticks, res.Sampler.SkippedTicks, res.Sampler.LateSamples)
+	if res.Overhead.Rounds > 0 {
+		fmt.Fprintf(w, "overhead: recorder on %.3f Mops/s vs off %.3f Mops/s, delta %.1f%% (ok=%v)\n",
+			res.Overhead.RecorderOnMops, res.Overhead.RecorderOffMops,
+			res.Overhead.DeltaPct, res.Overhead.OK)
+	}
+	a := res.Agg
+	fmt.Fprintf(w, "aggregate: %d shards from %s on ladder %v, faults %v held %s, %s window, %d clients × batch %d, %d ops (%d errs), p99 %s\n",
+		a.Shards, a.StartScheme, a.Ladder, a.Faults, a.Hold.Round(time.Millisecond),
+		a.Duration, a.Clients, a.Batch, a.Ops, a.OpErrs, fmtLatency(a.P99))
+	if res.ServedAt != "" {
+		fmt.Fprintf(w, "           live plane served at %s\n", res.ServedAt)
+	}
+	fmt.Fprintf(w, "           all incident chains complete: %v\n", res.Complete)
+}
+
+// ObsReport is the machine-readable observability artifact (the
+// BENCH_obs.json file): the full result under the experiment/trajectory
+// convention the other artifacts follow.
+type ObsReport struct {
+	Experiment string    `json:"experiment"`
+	Result     ObsResult `json:"result"`
+}
+
+// WriteObsReport emits the observability experiment as an indented JSON
+// benchmark artifact.
+func WriteObsReport(w io.Writer, res ObsResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ObsReport{Experiment: "obs", Result: res})
+}
+
+// ReadObsReport parses an artifact written by WriteObsReport.
+func ReadObsReport(r io.Reader) (ObsReport, error) {
+	var rep ObsReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return ObsReport{}, fmt.Errorf("bench: malformed obs artifact: %w", err)
+	}
+	return rep, nil
+}
+
+// WriteObsTrace emits the run's event tape and backlog series as a
+// Chrome trace-event file (chrome://tracing, ui.perfetto.dev).
+func WriteObsTrace(w io.Writer, res ObsResult) error {
+	return obs.WriteChromeTrace(w, res.Events, res.Series)
 }

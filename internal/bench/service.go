@@ -8,6 +8,8 @@ import (
 
 	"repro/internal/adapt"
 	"repro/internal/hist"
+	"repro/internal/obs"
+	"repro/internal/obs/rec"
 	"repro/internal/smr/all"
 	"repro/internal/store"
 	"repro/internal/telemetry"
@@ -63,6 +65,12 @@ type ServiceConfig struct {
 	// Requires Duration > 0 — an op-boxed run has no deadline for the
 	// control loop to live inside.
 	Adapt *adapt.Config
+	// ObsAddr, when non-empty, serves the live observability plane
+	// (/metrics, /timeline, /debug/pprof/) on this address for the
+	// duration of the run: the store's shards stamp the flight recorder,
+	// and — with Adapt — the sampler, monitor and controller share its
+	// run clock. The bound URL is reported in the result.
+	ObsAddr string
 }
 
 func (cfg *ServiceConfig) fill() {
@@ -155,6 +163,8 @@ type ServiceResult struct {
 	// Episodes is the adaptive controller's migration log (adaptive runs
 	// only).
 	Episodes []adapt.Episode `json:"episodes,omitempty"`
+	// ObsURL is the live plane's bound URL (ObsAddr runs only).
+	ObsURL string `json:"obs_url,omitempty"`
 }
 
 // runClients drives every client through ops operations from src,
@@ -256,17 +266,20 @@ func storeProbe(st *store.Store) telemetry.Probe {
 // attachAdapt wires the adaptive-reclamation loop onto a serving store:
 // a gauge-tap sampler feeding the online classifier, and the controller
 // deciding on it. The monitor's domain i is shard i; budgets come from
-// the resolved shard specs. Returns the started sampler and controller.
-func attachAdapt(st *store.Store, acfg adapt.Config, interval time.Duration) (*telemetry.Sampler, *adapt.Controller, error) {
+// the resolved shard specs. clock and recorder are optional (the
+// observability plane's shared run clock and flight recorder — when
+// given, all three loops stamp the same tape). Returns the started
+// sampler, the monitor, and the controller.
+func attachAdapt(st *store.Store, acfg adapt.Config, interval time.Duration, clock *rec.Clock, recorder *rec.Recorder) (*telemetry.Sampler, *telemetry.Monitor, *adapt.Controller, error) {
 	domains := make([]telemetry.Domain, st.Shards())
 	for s := range domains {
 		spec, err := st.Spec(s)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		props, err := all.Props(spec.Scheme)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		domains[s] = telemetry.Domain{
 			Scheme:   spec.Scheme,
@@ -274,17 +287,24 @@ func attachAdapt(st *store.Store, acfg adapt.Config, interval time.Duration) (*t
 			Budget:   telemetry.Budget{Threads: spec.Workers, Threshold: spec.Threshold},
 		}
 	}
-	mon := telemetry.NewMonitor(telemetry.MonitorConfig{}, domains)
+	mcfg := telemetry.MonitorConfig{}
+	if recorder != nil {
+		mcfg.OnFlip = obs.VerdictHook(recorder)
+	}
+	mon := telemetry.NewMonitor(mcfg, domains)
 	sampler := telemetry.NewSampler(
-		telemetry.Config{Interval: interval, Capacity: 4096, OnSample: mon.Observe},
+		telemetry.Config{Interval: interval, Capacity: 4096, OnSample: mon.Observe,
+			Clock: clock, Recorder: recorder},
 		storeProbe(st))
+	acfg.Clock = clock
+	acfg.Recorder = recorder
 	ctl, err := adapt.New(acfg, st, mon)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	sampler.Start()
 	ctl.Start()
-	return sampler, ctl, nil
+	return sampler, mon, ctl, nil
 }
 
 // sampleEvery derives a telemetry tick from a traffic window: ~200
@@ -318,11 +338,30 @@ func RunService(cfg ServiceConfig) (ServiceResult, error) {
 			Workers:   cfg.WorkersPerShard,
 		}
 	}
-	st, err := store.New(store.Config{Shards: specs, KeyRange: cfg.KeyRange})
+	// The observability plane is opt-in: with ObsAddr set, the shards
+	// stamp a flight recorder and the plane serves live throughout.
+	var (
+		clock    *rec.Clock
+		recorder *rec.Recorder
+		srv      *obs.Server
+	)
+	if cfg.ObsAddr != "" {
+		clock = rec.NewClock()
+		recorder = rec.NewRecorder(clock, 0)
+	}
+	st, err := store.New(store.Config{Shards: specs, KeyRange: cfg.KeyRange, Recorder: recorder})
 	if err != nil {
 		return ServiceResult{}, err
 	}
 	defer st.Close()
+	defer func() { _ = srv.Close() }()
+	serveObs := func(reg *obs.Registry) error {
+		if cfg.ObsAddr == "" {
+			return nil
+		}
+		srv, err = obs.Serve(cfg.ObsAddr, reg)
+		return err
+	}
 	src, err := workload.New(workload.Config{
 		Dist:     cfg.Workload,
 		Schedule: cfg.Schedule,
@@ -350,15 +389,19 @@ func RunService(cfg ServiceConfig) (ServiceResult, error) {
 		// Duration-boxed: no warmup (the window owns its ramp), errors
 		// tolerated, optional adaptive controller live over the store.
 		var sampler *telemetry.Sampler
+		var mon *telemetry.Monitor
 		if cfg.Adapt != nil {
-			sampler, ctl, err = attachAdapt(st, *cfg.Adapt, sampleEvery(cfg.Duration))
+			sampler, mon, ctl, err = attachAdapt(st, *cfg.Adapt, sampleEvery(cfg.Duration), clock, recorder)
 			if err != nil {
 				return ServiceResult{}, err
 			}
 		}
+		if err := serveObs(&obs.Registry{Store: st, Sampler: sampler, Monitor: mon, Recorder: recorder}); err != nil {
+			return ServiceResult{}, err
+		}
 		before = st.Stats()
 		start := time.Now()
-		ops, opErrs, lat, err = runTimedClients(st, src, cfg.Clients, cfg.Batch, start.Add(cfg.Duration))
+		ops, opErrs, lat, err = runTimedClients(st, src, cfg.Clients, cfg.Batch, start.Add(cfg.Duration), nil)
 		elapsed = time.Since(start)
 		if ctl != nil {
 			ctl.Stop()
@@ -368,6 +411,9 @@ func RunService(cfg ServiceConfig) (ServiceResult, error) {
 			return ServiceResult{}, err
 		}
 	} else {
+		if err := serveObs(&obs.Registry{Store: st, Recorder: recorder}); err != nil {
+			return ServiceResult{}, err
+		}
 		warmup := cfg.WarmupOpsPerClient
 		switch {
 		case warmup < 0:
@@ -451,6 +497,9 @@ func RunService(cfg ServiceConfig) (ServiceResult, error) {
 	res := ServiceResult{Aggregate: agg, PerShard: rows}
 	if ctl != nil {
 		res.Episodes = ctl.Episodes()
+	}
+	if srv != nil {
+		res.ObsURL = srv.URL
 	}
 	return res, nil
 }

@@ -162,7 +162,7 @@ func runTraverseStorm(cfg TraverseConfig, headRestart bool) (TraverseStormArm, e
 		return TraverseStormArm{}, err
 	}
 	start := time.Now()
-	ops, _, lat, err := runTimedClients(st, src, cfg.Clients, cfg.Batch, start.Add(cfg.Duration))
+	ops, _, lat, err := runTimedClients(st, src, cfg.Clients, cfg.Batch, start.Add(cfg.Duration), nil)
 	if err != nil {
 		return TraverseStormArm{}, err
 	}

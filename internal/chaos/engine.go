@@ -3,6 +3,8 @@ package chaos
 import (
 	"sync"
 	"time"
+
+	"repro/internal/obs/rec"
 )
 
 // Schedule paces a fault's episodes over a run.
@@ -66,7 +68,13 @@ type Engine struct {
 	target     *Target
 	injections []injection
 
-	start   time.Time
+	// clock is the run clock events are stamped on. Engines used to keep
+	// a private time.Since zero here; sharing one rec.Clock with the
+	// telemetry sampler and the adapt controller is what lets the four
+	// logs merge without skew. Start installs a fresh clock when the
+	// harness did not provide one.
+	clock   *rec.Clock
+	rec     *rec.Recorder
 	stop    chan struct{}
 	wg      sync.WaitGroup
 	stopped sync.Once
@@ -79,6 +87,18 @@ type Engine struct {
 func NewEngine(t *Target) *Engine {
 	return &Engine{target: t, stop: make(chan struct{})}
 }
+
+// SetObs points the engine at the shared run clock and, when r is
+// non-nil, mirrors every fault fire/heal into the flight recorder. Call
+// before Start.
+func (e *Engine) SetObs(c *rec.Clock, r *rec.Recorder) {
+	e.clock = c
+	e.rec = r
+}
+
+// now is the event timestamp source: the shared clock when one is
+// installed, the engine-private zero otherwise.
+func (e *Engine) now() time.Duration { return e.clock.Now() }
 
 // Add registers the named fault (resolved through the registry) on the
 // schedule. Must be called before Start.
@@ -116,8 +136,10 @@ func (e *Engine) record(ev Event) int {
 
 func (e *Engine) setHealed(i int) {
 	e.mu.Lock()
-	e.events[i].Healed = time.Since(e.start)
+	ev := e.events[i]
+	e.events[i].Healed = e.now()
 	e.mu.Unlock()
+	e.rec.Record(rec.KindFaultHeal, ev.Shard, 0, uint64(ev.Episode), 0, ev.Fault)
 }
 
 func (e *Engine) setErr(i int, err error) {
@@ -140,10 +162,13 @@ func (e *Engine) sleep(d time.Duration) bool {
 	}
 }
 
-// Start launches one runner per injection. t=0 for schedules and event
-// timestamps is now.
+// Start launches one runner per injection. Schedules are relative to
+// now; event timestamps read the shared clock when SetObs installed one
+// (so they line up with telemetry samples), else a private zero at now.
 func (e *Engine) Start() {
-	e.start = time.Now()
+	if e.clock == nil {
+		e.clock = rec.NewClock()
+	}
 	for _, inj := range e.injections {
 		e.wg.Add(1)
 		go e.run(inj)
@@ -176,13 +201,15 @@ func (e *Engine) run(inj injection) {
 			Fault:     inj.fault.Name(),
 			Shard:     inj.fault.Shard(),
 			Episode:   ep,
-			At:        time.Since(e.start),
+			At:        e.now(),
 			Intensity: intensity,
 		})
 		heal, err := inj.fault.Inject(e.target, intensity)
 		if err != nil {
 			e.setErr(idx, err)
 		} else {
+			e.rec.Record(rec.KindFaultFire, inj.fault.Shard(), 0,
+				uint64(ep), uint64(intensity*1000), inj.fault.Name())
 			if inj.sched.Hold > 0 {
 				e.sleep(inj.sched.Hold)
 				heal()

@@ -142,6 +142,11 @@ type Options struct {
 	// arm of EXP-TRAVERSE and for bisecting traversal regressions; leave
 	// it false in production configurations.
 	HeadRestart bool
+	// OnGuardTrip, when non-nil, receives every step-budget exhaustion
+	// right after it is counted — the observability plane's flight
+	// recorder hook. Called on the tripping operation's goroutine; must
+	// be cheap and non-blocking.
+	OnGuardTrip func(structure, op string, steps, restarts uint64)
 }
 
 // Named execution points (sched.Gate hits).
@@ -247,6 +252,9 @@ func (in *Instr) TravSnapshot() TravSnapshot { return in.Trav.Snapshot() }
 // GuardTrip counts a step-budget exhaustion and builds its typed error.
 func (in *Instr) GuardTrip(structure, op string, steps, restarts uint64) error {
 	in.Trav.GuardTrips.Add(1)
+	if in.Opt.OnGuardTrip != nil {
+		in.Opt.OnGuardTrip(structure, op, steps, restarts)
+	}
 	return &GuardError{Structure: structure, Op: op, Steps: steps, Restarts: restarts}
 }
 

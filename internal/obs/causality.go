@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/obs/rec"
+	"repro/internal/telemetry"
+)
+
+// Incident is one joined fault lifecycle: the chain the recorder's
+// streams evidence for a single injected episode on a single shard.
+// Times are run-clock stamps; absent stages read zero and the latencies
+// read -1, so "finite" means "the chain actually closed".
+type Incident struct {
+	Shard   int           `json:"shard"`
+	Fault   string        `json:"fault"`
+	Episode int           `json:"episode"`
+	FiredAt time.Duration `json:"fired_at_ns"`
+	// InflectionAt is when the shard's sampled retired backlog first
+	// rose clearly above its pre-fault baseline (zero when it never did
+	// — a fault a robust scheme absorbs leaves no inflection).
+	InflectionAt time.Duration `json:"inflection_at_ns,omitempty"`
+	// VerdictAt is the first worsening audited-class flip at or after
+	// the fire — the moment the monitor *detected* the fault.
+	VerdictAt time.Duration `json:"verdict_at_ns,omitempty"`
+	Verdict   string        `json:"verdict,omitempty"`
+	// MigrationStartAt/DoneAt bracket the controller's reaction.
+	MigrationStartAt time.Duration `json:"migration_start_at_ns,omitempty"`
+	MigrationDoneAt  time.Duration `json:"migration_done_at_ns,omitempty"`
+	Migration        string        `json:"migration,omitempty"`
+	HealedAt         time.Duration `json:"healed_at_ns,omitempty"`
+	// DetectionLatency = VerdictAt − FiredAt; ReactionLatency =
+	// MigrationStartAt − VerdictAt. −1 when the stage never happened.
+	DetectionLatency time.Duration `json:"detection_latency_ns"`
+	ReactionLatency  time.Duration `json:"reaction_latency_ns"`
+	// Complete reports the full fault → verdict → migration → heal
+	// chain closed.
+	Complete bool `json:"complete"`
+}
+
+// Timeline is the causality report: per-incident chains plus the
+// controller-stability metrics ROADMAP item 4 asks for.
+type Timeline struct {
+	Incidents []Incident `json:"incidents"`
+	// LadderMoves counts adaptive migration decisions in the window;
+	// Reversals counts A→B moves later undone by B→A on the same shard
+	// — the flap signature.
+	LadderMoves int `json:"ladder_moves"`
+	Reversals   int `json:"reversals"`
+	// FlapRatePerSec is LadderMoves over the observed span.
+	FlapRatePerSec float64 `json:"flap_rate_per_sec"`
+	// Span is the window the rate is normalized by.
+	Span time.Duration `json:"span_ns"`
+}
+
+// Complete reports whether every incident's chain closed.
+func (t Timeline) Complete() bool {
+	for _, in := range t.Incidents {
+		if !in.Complete {
+			return false
+		}
+	}
+	return len(t.Incidents) > 0
+}
+
+// BuildTimeline joins a recorder snapshot (and, when given, the
+// per-shard telemetry series for backlog inflections) into per-incident
+// causal chains. span is the run window flap rate is normalized by;
+// pass the traffic duration.
+func BuildTimeline(events []rec.Event, series map[int][]telemetry.Point, span time.Duration) Timeline {
+	evs := append([]rec.Event(nil), events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+
+	var tl Timeline
+	tl.Span = span
+	for i, ev := range evs {
+		if ev.Kind != rec.KindFaultFire {
+			continue
+		}
+		in := Incident{
+			Shard:            ev.Shard,
+			Fault:            ev.Label,
+			Episode:          int(ev.A),
+			FiredAt:          ev.At,
+			DetectionLatency: -1,
+			ReactionLatency:  -1,
+		}
+		// Walk forward from the fire, claiming the first matching stage
+		// of each kind on this shard. Later fires re-scan from their own
+		// position, so overlapping episodes attribute stages to the
+		// earliest fire that explains them — the conservative join.
+		for _, e := range evs[i+1:] {
+			if e.Shard != in.Shard {
+				continue
+			}
+			switch e.Kind {
+			case rec.KindVerdict:
+				// A = new class, B = old class; worsening = detection.
+				if in.VerdictAt == 0 && e.A < e.B {
+					in.VerdictAt, in.Verdict = e.At, e.Label
+				}
+			case rec.KindMigrationStart:
+				if in.MigrationStartAt == 0 && (in.VerdictAt == 0 || e.At >= in.VerdictAt) {
+					in.MigrationStartAt, in.Migration = e.At, e.Label
+				}
+			case rec.KindMigrationDone:
+				if in.MigrationDoneAt == 0 && in.MigrationStartAt != 0 && e.At >= in.MigrationStartAt {
+					in.MigrationDoneAt = e.At
+				}
+			case rec.KindFaultHeal:
+				if in.HealedAt == 0 && e.Label == in.Fault && int(e.A) == in.Episode {
+					in.HealedAt = e.At
+				}
+			}
+		}
+		if pts := series[in.Shard]; len(pts) > 0 {
+			in.InflectionAt = inflection(pts, in.FiredAt)
+		}
+		if in.VerdictAt != 0 {
+			in.DetectionLatency = in.VerdictAt - in.FiredAt
+		}
+		if in.VerdictAt != 0 && in.MigrationStartAt != 0 {
+			in.ReactionLatency = in.MigrationStartAt - in.VerdictAt
+		}
+		in.Complete = in.VerdictAt != 0 && in.MigrationStartAt != 0 &&
+			in.MigrationDoneAt != 0 && in.HealedAt != 0
+		tl.Incidents = append(tl.Incidents, in)
+	}
+
+	// Flap metrics from the ladder-move stream: every decision counts,
+	// and a later move that exactly undoes an earlier one on the same
+	// shard is a reversal.
+	type move struct{ from, to uint64 }
+	prev := map[int][]move{}
+	for _, ev := range evs {
+		if ev.Kind != rec.KindLadderMove {
+			continue
+		}
+		tl.LadderMoves++
+		m := move{from: ev.B, to: ev.A}
+		for _, p := range prev[ev.Shard] {
+			if p.from == m.to && p.to == m.from {
+				tl.Reversals++
+				break
+			}
+		}
+		prev[ev.Shard] = append(prev[ev.Shard], m)
+	}
+	if span > 0 {
+		tl.FlapRatePerSec = float64(tl.LadderMoves) / span.Seconds()
+	}
+	return tl
+}
+
+// inflection finds the first sample after firedAt whose retired backlog
+// clearly exceeds the pre-fault baseline (last sample at or before the
+// fire): baseline + max(16, baseline). Zero when the backlog never
+// inflected.
+func inflection(pts []telemetry.Point, firedAt time.Duration) time.Duration {
+	var baseline uint64
+	for _, p := range pts {
+		if p.Elapsed > firedAt {
+			break
+		}
+		baseline = p.Retired
+	}
+	bump := baseline
+	if bump < 16 {
+		bump = 16
+	}
+	threshold := baseline + bump
+	for _, p := range pts {
+		if p.Elapsed <= firedAt {
+			continue
+		}
+		if p.Retired >= threshold {
+			return p.Elapsed
+		}
+	}
+	return 0
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is the opt-in live export endpoint: Prometheus text on
+// /metrics, the recorder's merged event stream on /timeline, and the
+// standard pprof surface under /debug/pprof/ — profiling a reclamation
+// stall *while it happens* is half the point of the plane.
+type Server struct {
+	// URL is the reachable base ("http://127.0.0.1:8080"), with the
+	// kernel-assigned port resolved when the caller bound ":0".
+	URL string
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Handler builds the plane's HTTP mux over the registry.
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "era observability plane\n\n"+
+			"  /metrics        Prometheus text exposition\n"+
+			"  /timeline       flight-recorder event stream (JSON)\n"+
+			"  /debug/pprof/   live profiling\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WriteMetrics(w); err != nil {
+			// Headers are gone; all that is left is to stop writing.
+			return
+		}
+	})
+	mux.HandleFunc("/timeline", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(reg.Timeline())
+	})
+	// net/http/pprof registers on DefaultServeMux; wire its handlers
+	// onto this private mux instead so the plane works with any server.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds addr (":8080", "127.0.0.1:0", ...) and serves the plane
+// until Close. It returns once the listener is bound, so the reported
+// URL is immediately curl-able.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: %w", err)
+	}
+	s := &Server{
+		ln:  ln,
+		srv: &http.Server{Handler: Handler(reg), ReadHeaderTimeout: 5 * time.Second},
+	}
+	host, port, _ := net.SplitHostPort(ln.Addr().String())
+	if host == "" || host == "::" || host == "0.0.0.0" {
+		host = "127.0.0.1"
+	}
+	s.URL = "http://" + net.JoinHostPort(host, port)
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Close stops the server and releases the port.
+func (s *Server) Close() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

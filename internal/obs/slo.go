@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs/rec"
+)
+
+// SLOMonitor tracks the windowed p99 service-request latency against an
+// objective, turning "robust but slow" into a detectable state: breach
+// and clear transitions are stamped into the flight recorder next to the
+// backlog verdicts, and the p99 series is kept for the obs report.
+//
+// Clients feed it raw request latencies (Observe, from the request path,
+// striped to stay cheap); Eval computes the p99 over the last Window
+// observations and latches the breach state. Drive Eval from a ticker
+// (Start/Stop) or call it directly from a harness loop.
+type SLOMonitor struct {
+	target   time.Duration
+	window   int
+	rec      *rec.Recorder
+	clock    *rec.Clock
+	interval time.Duration
+
+	mu    sync.Mutex
+	ring  []time.Duration
+	head  int
+	n     int
+	tmp   []time.Duration // reused sort scratch, under mu
+	p99   time.Duration
+	over  bool
+	trans uint64
+	pts   []SLOPoint
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// SLOPoint is one p99 evaluation for the report series.
+type SLOPoint struct {
+	At  time.Duration `json:"at_ns"`
+	P99 time.Duration `json:"p99_ns"`
+	// Breached marks evaluations whose p99 sat above the objective.
+	Breached bool `json:"breached,omitempty"`
+}
+
+// SLOSnapshot is the monitor's live state.
+type SLOSnapshot struct {
+	Target   time.Duration `json:"target_ns"`
+	P99      time.Duration `json:"p99_ns"`
+	Breached bool          `json:"breached"`
+	// Breaches counts clear→breach transitions, not breached windows.
+	Breaches uint64     `json:"breaches"`
+	Points   []SLOPoint `json:"points,omitempty"`
+}
+
+// NewSLO builds a monitor with the given p99 objective over a ring of
+// window observations (0 selects 512). Clock and recorder are optional:
+// nil clock starts a private one, nil recorder drops the transition
+// events.
+func NewSLO(target time.Duration, window int, clock *rec.Clock, r *rec.Recorder) *SLOMonitor {
+	if window <= 0 {
+		window = 512
+	}
+	if clock == nil {
+		clock = rec.NewClock()
+	}
+	return &SLOMonitor{
+		target: target,
+		window: window,
+		rec:    r,
+		clock:  clock,
+		ring:   make([]time.Duration, window),
+		tmp:    make([]time.Duration, 0, window),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+// Observe records one service-request latency.
+func (m *SLOMonitor) Observe(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.ring[m.head] = d
+	m.head = (m.head + 1) % len(m.ring)
+	if m.n < len(m.ring) {
+		m.n++
+	}
+	m.mu.Unlock()
+}
+
+// Eval recomputes the windowed p99 and latches breach transitions. A
+// window with fewer than 8 observations is skipped — a p99 of three
+// requests is noise, and a breach latched on it would flap.
+func (m *SLOMonitor) Eval() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	if m.n < 8 {
+		m.mu.Unlock()
+		return
+	}
+	m.tmp = m.tmp[:0]
+	for i := 0; i < m.n; i++ {
+		m.tmp = append(m.tmp, m.ring[i])
+	}
+	sort.Slice(m.tmp, func(i, j int) bool { return m.tmp[i] < m.tmp[j] })
+	p99 := m.tmp[(len(m.tmp)*99)/100]
+	m.p99 = p99
+	over := m.target > 0 && p99 > m.target
+	fire, clear := false, false
+	if over != m.over {
+		m.over = over
+		if over {
+			m.trans++
+			fire = true
+		} else {
+			clear = true
+		}
+	}
+	m.pts = append(m.pts, SLOPoint{At: m.clock.Now(), P99: p99, Breached: over})
+	m.mu.Unlock()
+	if fire {
+		m.rec.Record(rec.KindSLOBreach, -1, 0, uint64(p99), uint64(m.target), "")
+	}
+	if clear {
+		m.rec.Record(rec.KindSLOClear, -1, 0, uint64(p99), uint64(m.target), "")
+	}
+}
+
+// Start drives Eval on a ticker until Stop; interval 0 selects 5ms.
+func (m *SLOMonitor) Start(interval time.Duration) {
+	if interval <= 0 {
+		interval = 5 * time.Millisecond
+	}
+	m.interval = interval
+	go func() {
+		defer close(m.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-t.C:
+				m.Eval()
+			}
+		}
+	}()
+}
+
+// Stop halts the ticker, takes a final evaluation, and waits for the
+// goroutine. Idempotent; safe without Start only via direct Eval use.
+func (m *SLOMonitor) Stop() {
+	m.stopOnce.Do(func() {
+		close(m.stop)
+		if m.interval > 0 {
+			<-m.done
+		}
+		m.Eval()
+	})
+}
+
+// Snapshot copies the live state, p99 series included.
+func (m *SLOMonitor) Snapshot() SLOSnapshot {
+	if m == nil {
+		return SLOSnapshot{}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return SLOSnapshot{
+		Target:   m.target,
+		P99:      m.p99,
+		Breached: m.over,
+		Breaches: m.trans,
+		Points:   append([]SLOPoint(nil), m.pts...),
+	}
+}

@@ -12,6 +12,16 @@ type RetireList struct {
 	_    pad
 }
 
+// Observer receives scheme-level reclamation events. The observability
+// plane (internal/obs) wires its flight recorder in through this; the
+// scheme side stays dependency-free. Implementations are called on the
+// reclaiming thread's hot path and must be cheap and non-blocking.
+type Observer interface {
+	// SMRScan reports one reclamation scan by thread tid: how many
+	// retired nodes it examined and how many it reclaimed.
+	SMRScan(tid, scanned, reclaimed int)
+}
+
 // Base carries the state every scheme shares: the arena, the thread count,
 // per-thread retire lists and the event counters.
 type Base struct {
@@ -20,6 +30,22 @@ type Base struct {
 	Threshold int // retire-list length that triggers a reclamation scan
 	Lists     []RetireList
 	S         Stats
+	Obs       Observer // nil unless an observability plane is attached
+}
+
+// SetObserver attaches (or, with nil, detaches) the scan observer. Set it
+// before the scheme's threads start running — the field is read unfenced
+// on the scan path.
+func (b *Base) SetObserver(o Observer) { b.Obs = o }
+
+// NoteScan counts one reclamation scan and forwards it to the observer.
+// Every scheme's scan calls this exactly where it used to bump S.Scans,
+// so the counter semantics are unchanged with observability off.
+func (b *Base) NoteScan(tid, scanned, reclaimed int) {
+	b.S.Scans.Add(1)
+	if b.Obs != nil {
+		b.Obs.SMRScan(tid, scanned, reclaimed)
+	}
 }
 
 // NewBase initializes a Base for n threads. threshold <= 0 selects a

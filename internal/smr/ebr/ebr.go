@@ -110,9 +110,9 @@ func (e *EBR) Retire(tid int, r mem.Ref) {
 // least two epochs old: every thread active then has since announced a
 // newer epoch or quiescence, so no reference to the node survives.
 func (e *EBR) scan(tid int) {
-	e.S.Scans.Add(1)
 	cur := e.epoch.Load()
 	l := &e.Lists[tid].Refs
+	scanned := len(*l)
 	kept := (*l)[:0]
 	for _, r := range *l {
 		if e.Arena.MetaLoad(r.Slot(), smr.MetaRetire)+2 <= cur {
@@ -122,6 +122,7 @@ func (e *EBR) scan(tid int) {
 		}
 	}
 	*l = kept
+	e.NoteScan(tid, scanned, scanned-len(kept))
 }
 
 // Flush attempts an epoch advance and a scan regardless of list length.

@@ -120,7 +120,6 @@ func (h *HE) Retire(tid int, r mem.Ref) {
 
 // scan reclaims retired nodes whose lifetime contains no published era.
 func (h *HE) scan(tid int) {
-	h.S.Scans.Add(1)
 	eras := make([]uint64, 0, len(h.slots))
 	for i := range h.slots {
 		if e := h.slots[i].era.Load(); e != noEra {
@@ -128,6 +127,7 @@ func (h *HE) scan(tid int) {
 		}
 	}
 	l := &h.Lists[tid].Refs
+	scanned := len(*l)
 	kept := (*l)[:0]
 	for _, r := range *l {
 		birth := h.Arena.MetaLoad(r.Slot(), smr.MetaBirth)
@@ -146,6 +146,7 @@ func (h *HE) scan(tid int) {
 		}
 	}
 	*l = kept
+	h.NoteScan(tid, scanned, scanned-len(kept))
 }
 
 // Flush implements smr.Scheme.

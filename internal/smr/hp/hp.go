@@ -86,7 +86,6 @@ func (h *HP) Retire(tid int, r mem.Ref) {
 // protects. At most N*K nodes survive a scan, which is the robustness
 // bound of the scheme.
 func (h *HP) scan(tid int) {
-	h.S.Scans.Add(1)
 	protected := make(map[mem.Ref]struct{}, len(h.hazards))
 	for i := range h.hazards {
 		if v := h.hazards[i].ref.Load(); v != 0 {
@@ -94,6 +93,7 @@ func (h *HP) scan(tid int) {
 		}
 	}
 	l := &h.Lists[tid].Refs
+	scanned := len(*l)
 	kept := (*l)[:0]
 	for _, r := range *l {
 		if _, ok := protected[r.WithoutMark()]; ok {
@@ -103,6 +103,7 @@ func (h *HP) scan(tid int) {
 		}
 	}
 	*l = kept
+	h.NoteScan(tid, scanned, scanned-len(kept))
 }
 
 // Flush implements smr.Scheme.

@@ -124,7 +124,6 @@ func (i *IBR) Retire(tid int, r mem.Ref) {
 // scan reclaims retired nodes whose [birth, retire] interval intersects no
 // thread's reservation interval.
 func (i *IBR) scan(tid int) {
-	i.S.Scans.Add(1)
 	lowers := make([]uint64, i.N)
 	uppers := make([]uint64, i.N)
 	for t := 0; t < i.N; t++ {
@@ -132,6 +131,7 @@ func (i *IBR) scan(tid int) {
 		uppers[t] = i.resv[t].upper.Load()
 	}
 	l := &i.Lists[tid].Refs
+	scanned := len(*l)
 	kept := (*l)[:0]
 	for _, r := range *l {
 		birth := i.Arena.MetaLoad(r.Slot(), smr.MetaBirth)
@@ -153,6 +153,7 @@ func (i *IBR) scan(tid int) {
 		}
 	}
 	*l = kept
+	i.NoteScan(tid, scanned, scanned-len(kept))
 }
 
 // Flush implements smr.Scheme.

@@ -71,10 +71,10 @@ func (s *NBR) Props() smr.Props {
 		// load, so the (discarded) load physically happens and must land
 		// in program space. See DESIGN.md, simulation limitations.
 		TypePreserving: true,
-		SelfContained:    false, // real NBR relies on OS signals
-		MetaWordsUsed:    0,
-		Robustness:       smr.Robust,
-		Applicability:    smr.WidelyApplicable,
+		SelfContained:  false, // real NBR relies on OS signals
+		MetaWordsUsed:  0,
+		Robustness:     smr.Robust,
+		Applicability:  smr.WidelyApplicable,
 	}
 }
 
@@ -127,7 +127,6 @@ func (s *NBR) Retire(tid int, r mem.Ref) {
 // sees the reservation, or the thread sees the flag and rolls back before
 // entering its write phase.
 func (s *NBR) scan(tid int) {
-	s.S.Scans.Add(1)
 	for t := range s.flags {
 		if t != tid {
 			s.flags[t].raised.Store(true)
@@ -142,6 +141,7 @@ func (s *NBR) scan(tid int) {
 		}
 	}
 	l := &s.Lists[tid].Refs
+	scanned := len(*l)
 	kept := (*l)[:0]
 	for _, r := range *l {
 		if _, ok := reserved[r.WithoutMark()]; ok {
@@ -151,6 +151,7 @@ func (s *NBR) scan(tid int) {
 		}
 	}
 	*l = kept
+	s.NoteScan(tid, scanned, scanned-len(kept))
 }
 
 // Flush implements smr.Scheme.

@@ -145,9 +145,9 @@ func (p *PEBR) Retire(tid int, r mem.Ref) {
 // scan reclaims nodes at least two epochs old (ejection guarantees the
 // epoch keeps moving).
 func (p *PEBR) scan(tid int) {
-	p.S.Scans.Add(1)
 	cur := p.epoch.Load()
 	l := &p.Lists[tid].Refs
+	scanned := len(*l)
 	kept := (*l)[:0]
 	for _, r := range *l {
 		if p.Arena.MetaLoad(r.Slot(), smr.MetaRetire)+2 <= cur {
@@ -157,6 +157,7 @@ func (p *PEBR) scan(tid int) {
 		}
 	}
 	*l = kept
+	p.NoteScan(tid, scanned, scanned-len(kept))
 }
 
 // Flush implements smr.Scheme.

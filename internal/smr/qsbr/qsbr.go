@@ -114,11 +114,13 @@ func (q *QSBR) graceElapsed(snap []uint64) bool {
 // retired before the snapshot cannot be reached by any critical section
 // that started after it (the node was unlinked before retirement).
 func (q *QSBR) scan(tid int) {
-	q.S.Scans.Add(1)
 	snap := q.snaps[tid]
 	if !q.graceElapsed(snap) {
+		q.NoteScan(tid, 0, 0)
 		return
 	}
+	reclaimed := len(q.waiting[tid])
+	q.NoteScan(tid, reclaimed, reclaimed)
 	for _, r := range q.waiting[tid] {
 		_ = q.Arena.Reclaim(tid, r)
 	}

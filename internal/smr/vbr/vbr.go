@@ -76,8 +76,8 @@ func (v *VBR) Retire(tid int, r mem.Ref) {
 
 // Flush reclaims the thread's whole retire list.
 func (v *VBR) Flush(tid int) {
-	v.S.Scans.Add(1)
 	l := &v.Lists[tid].Refs
+	v.NoteScan(tid, len(*l), len(*l))
 	for _, r := range *l {
 		_ = v.Arena.Reclaim(tid, r)
 	}

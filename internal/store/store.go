@@ -27,6 +27,7 @@ import (
 	"repro/internal/ds"
 	"repro/internal/ds/registry"
 	"repro/internal/mem"
+	"repro/internal/obs/rec"
 	"repro/internal/sched"
 	"repro/internal/smr"
 	"repro/internal/smr/all"
@@ -102,6 +103,12 @@ type Config struct {
 	// structures' O(live-keys) iterator. Kept as the traverse benchmark's
 	// baseline arm; leave false in deployments.
 	SnapshotScan bool
+	// Recorder, when non-nil, is the observability plane's flight
+	// recorder (internal/obs/rec): every shard's reclamation scans and
+	// traversal guard trips, and the store's migrations and reopens, are
+	// stamped onto its shared run clock. Nil keeps the serving path
+	// hook-free.
+	Recorder *rec.Recorder
 }
 
 // Uniform returns n copies of spec — the homogeneous deployment.
@@ -249,7 +256,19 @@ func newShard(id int, spec ShardSpec, cfg Config) (*shard, error) {
 	if err != nil {
 		return nil, err
 	}
-	set, err := info.NewSet(s, ds.Options{Gate: spec.Gate, HeadRestart: spec.HeadRestart})
+	opts := ds.Options{Gate: spec.Gate, HeadRestart: spec.HeadRestart}
+	if r := cfg.Recorder; r != nil {
+		// Guard trips and reclamation scans flow into the flight recorder
+		// tagged with this slot id. Both hooks are installed before the
+		// workers start, so the scan path reads them race-free.
+		opts.OnGuardTrip = func(structure, op string, steps, restarts uint64) {
+			r.Record(rec.KindGuardTrip, id, 0, steps, restarts, structure+"."+op)
+		}
+		if o, ok := s.(interface{ SetObserver(smr.Observer) }); ok {
+			o.SetObserver(scanObserver{r: r, shard: id})
+		}
+	}
+	set, err := info.NewSet(s, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -268,6 +287,17 @@ func newShard(id int, spec ShardSpec, cfg Config) (*shard, error) {
 		go sh.worker(w)
 	}
 	return sh, nil
+}
+
+// scanObserver forwards one shard scheme's reclamation scans into the
+// flight recorder: A = retired nodes examined, B = nodes reclaimed.
+type scanObserver struct {
+	r     *rec.Recorder
+	shard int
+}
+
+func (o scanObserver) SMRScan(tid, scanned, reclaimed int) {
+	o.r.Record(rec.KindSMRScan, o.shard, tid, uint64(scanned), uint64(reclaimed), "")
 }
 
 // Shards returns the shard count.
@@ -455,6 +485,7 @@ func (st *Store) ReopenShard(s int) error {
 	if err := st.attachShard(s, old, sh, nil); err != nil {
 		return fmt.Errorf("store: reopen shard %d: %w", s, err)
 	}
+	st.cfg.Recorder.Record(rec.KindReopen, s, 0, 0, 0, old.spec.Scheme)
 	return nil
 }
 
@@ -501,11 +532,13 @@ func (st *Store) MigrateShard(s int, scheme string) error {
 	if !registry.Applicable(scheme, info.Name) {
 		return fmt.Errorf("store: migrate shard %d: scheme %s is not applicable to %s (Appendix E)", s, scheme, info.Name)
 	}
+	transition := spec.Scheme + "→" + scheme
 	swapStart := time.Now()
 	old, err := st.detachShard(s)
 	if err != nil {
 		return err
 	}
+	st.cfg.Recorder.Record(rec.KindMigrationStart, s, 0, 0, 0, transition)
 	if clean := old.await(st.cfg.MigrateGrace); clean {
 		// Fully quiesced: settle the backlog so the snapshot reads a
 		// drained structure. With a straggler parked mid-operation the
@@ -515,22 +548,28 @@ func (st *Store) MigrateShard(s int, scheme string) error {
 	}
 	keys, probes, err := old.snapshot(st.keyRange, st.shardOf, st.cfg.SnapshotScan)
 	if err != nil {
+		st.cfg.Recorder.Record(rec.KindMigrationFail, s, 0, 0, 0, "snapshot: "+err.Error())
 		return fmt.Errorf("store: migrate shard %d: snapshot: %w (shard left closed)", s, err)
 	}
 	nspec := old.spec
 	nspec.Scheme = scheme
 	repl, err := newShard(s, nspec, st.cfg)
 	if err != nil {
+		st.cfg.Recorder.Record(rec.KindMigrationFail, s, 0, 0, 0, "rebuild: "+err.Error())
 		return fmt.Errorf("store: migrate shard %d: rebuild: %w (shard left closed)", s, err)
 	}
 	if err := repl.replay(keys); err != nil {
 		repl.teardown()
+		st.cfg.Recorder.Record(rec.KindMigrationFail, s, 0, 0, 0, "replay: "+err.Error())
 		return fmt.Errorf("store: migrate shard %d: replay: %w (shard left closed)", s, err)
 	}
-	rec := &migrationRec{start: swapStart, probes: probes, keys: uint64(len(keys))}
-	if err := st.attachShard(s, old, repl, rec); err != nil {
+	mrec := &migrationRec{start: swapStart, probes: probes, keys: uint64(len(keys))}
+	if err := st.attachShard(s, old, repl, mrec); err != nil {
+		st.cfg.Recorder.Record(rec.KindMigrationFail, s, 0, 0, 0, err.Error())
 		return fmt.Errorf("store: migrate shard %d: %w", s, err)
 	}
+	st.cfg.Recorder.Record(rec.KindMigrationDone, s, 0,
+		uint64(len(keys)), uint64(time.Since(swapStart)), transition)
 	return nil
 }
 

@@ -25,6 +25,14 @@ type MonitorConfig struct {
 	// samples, not the whole run, which is what lets a migrated shard's
 	// fresh behaviour replace its old scheme's record.
 	Window int
+	// OnFlip, when non-nil, fires whenever a domain's *conclusive*
+	// audited class changes from its previous conclusive reading (the
+	// first conclusive reading sets the baseline silently). Called from
+	// Observe — i.e. on the sampler goroutine — outside the monitor's
+	// lock; it must be cheap and non-blocking. This is how audited-class
+	// transitions become flight-recorder events with a timestamp, rather
+	// than states someone has to poll for.
+	OnFlip func(domain int, old, new smr.RobustnessClass, v Verdict)
 }
 
 // Monitor is the online robustness classifier: it consumes sampled
@@ -35,10 +43,16 @@ type MonitorConfig struct {
 // reopened or migrated) resets that domain's window automatically.
 type Monitor struct {
 	window int
+	onFlip func(domain int, old, new smr.RobustnessClass, v Verdict)
 
 	mu      sync.Mutex
 	domains []Domain
 	fits    []*WindowFit
+	// lastClass/lastValid track each domain's previous conclusive audited
+	// class, the flip detector's memory. SetDomain clears them: a fresh
+	// incarnation re-baselines.
+	lastClass []smr.RobustnessClass
+	lastValid []bool
 }
 
 // NewMonitor builds a monitor over the given domains; domain i consumes
@@ -48,8 +62,10 @@ func NewMonitor(cfg MonitorConfig, domains []Domain) *Monitor {
 	if cfg.Window <= 0 {
 		cfg.Window = 256
 	}
-	m := &Monitor{window: cfg.Window, domains: append([]Domain(nil), domains...)}
+	m := &Monitor{window: cfg.Window, onFlip: cfg.OnFlip, domains: append([]Domain(nil), domains...)}
 	m.fits = make([]*WindowFit, len(m.domains))
+	m.lastClass = make([]smr.RobustnessClass, len(m.domains))
+	m.lastValid = make([]bool, len(m.domains))
 	for i := range m.fits {
 		m.fits[i] = NewWindowFit(cfg.Window)
 	}
@@ -60,14 +76,36 @@ func NewMonitor(cfg MonitorConfig, domains []Domain) *Monitor {
 func (m *Monitor) Domains() int { return len(m.domains) }
 
 // Observe feeds one sampled point into domain i's window. Its signature
-// matches the Sampler's OnSample hook.
+// matches the Sampler's OnSample hook. When an OnFlip hook is installed,
+// the window is re-fitted after the push (O(1), window.go) and a changed
+// conclusive audited class fires the hook.
 func (m *Monitor) Observe(domain int, p Point) {
 	if domain < 0 || domain >= len(m.fits) {
 		return
 	}
 	m.mu.Lock()
 	m.fits[domain].Push(p)
+	if m.onFlip == nil {
+		m.mu.Unlock()
+		return
+	}
+	d := m.domains[domain]
+	fit := m.fits[domain].Fit(d.Budget)
+	fit.Sanitize()
+	v := NewVerdict(d.Scheme, d.Declared, fit)
+	fire := false
+	var old, cls smr.RobustnessClass
+	if !v.Inconclusive() {
+		cls = v.AuditedClass()
+		if m.lastValid[domain] && m.lastClass[domain] != cls {
+			fire, old = true, m.lastClass[domain]
+		}
+		m.lastClass[domain], m.lastValid[domain] = cls, true
+	}
 	m.mu.Unlock()
+	if fire {
+		m.onFlip(domain, old, cls, v)
+	}
 }
 
 // SetDomain rebinds domain i to a new scheme — called after a live
@@ -81,6 +119,7 @@ func (m *Monitor) SetDomain(domain int, scheme string, declared smr.RobustnessCl
 	m.domains[domain].Scheme = scheme
 	m.domains[domain].Declared = declared
 	m.fits[domain].Reset()
+	m.lastValid[domain] = false
 	m.mu.Unlock()
 }
 

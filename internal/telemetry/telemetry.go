@@ -17,7 +17,10 @@ package telemetry
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/obs/rec"
 )
 
 // Point is one sampled observation of a monitored domain (typically one
@@ -133,6 +136,15 @@ type Config struct {
 	// (Monitor.Observe) feeds from. Called on the sampler goroutine, so
 	// it must not block on the sampler itself.
 	OnSample func(domain int, p Point)
+	// Clock, when non-nil, supplies t=0 for Point.Elapsed stamps. Share
+	// one rec.Clock with the chaos engine and the adapt controller and
+	// the three logs merge without per-subsystem zero-point skew; nil
+	// keeps the old behaviour (a private zero taken at Start).
+	Clock *rec.Clock
+	// Recorder, when non-nil, receives a KindSamplerGap event whenever
+	// ticks are found to have been skipped — sampling gaps become part
+	// of the recorded timeline instead of silently flattening series.
+	Recorder *rec.Recorder
 }
 
 // Sampler polls a Probe on a tick into one Series per domain. Start it
@@ -143,10 +155,39 @@ type Sampler struct {
 	probe  Probe
 	series []*Series
 
-	start    time.Time
+	clock    *rec.Clock
+	startOff time.Duration // clock reading at Start, for expected-tick math
 	stop     chan struct{}
 	done     chan struct{}
 	stopOnce sync.Once
+
+	// Tick-health counters. The ticker (time.Ticker) silently drops
+	// ticks when the probe outruns the interval; these make every lost
+	// or overrunning tick countable so a sampling gap cannot masquerade
+	// as a flat series. Written only on the sampler goroutine, read
+	// anywhere via Health().
+	ticks   atomic.Uint64
+	skipped atomic.Uint64
+	late    atomic.Uint64
+}
+
+// Health is the sampler's self-diagnosis: ticks that fired, ticks the
+// ticker dropped because sampling fell behind, and samples whose probe
+// took longer than the interval (each of those is about to cause drops).
+type Health struct {
+	Ticks        uint64 `json:"ticks"`
+	SkippedTicks uint64 `json:"skipped_ticks"`
+	LateSamples  uint64 `json:"late_samples"`
+}
+
+// Health returns the live tick-health counters. Safe to call while the
+// sampler runs.
+func (s *Sampler) Health() Health {
+	return Health{
+		Ticks:        s.ticks.Load(),
+		SkippedTicks: s.skipped.Load(),
+		LateSamples:  s.late.Load(),
+	}
 }
 
 // NewSampler builds a sampler over probe. The probe is called once here to
@@ -180,7 +221,7 @@ func (s *Sampler) Series(i int) *Series { return s.series[i] }
 // sample takes one probe reading and distributes it to the series.
 func (s *Sampler) sample() {
 	pts := s.probe()
-	el := time.Since(s.start)
+	el := s.clock.Now()
 	for i, p := range pts {
 		if i >= len(s.series) {
 			break
@@ -193,10 +234,14 @@ func (s *Sampler) sample() {
 	}
 }
 
-// Start launches the sampling goroutine and records t=0. It samples once
+// Start launches the sampling goroutine and records t=0 (the shared
+// clock's zero when Config.Clock is set, else now). It samples once
 // immediately so every series has a baseline point.
 func (s *Sampler) Start() {
-	s.start = time.Now()
+	if s.clock = s.cfg.Clock; s.clock == nil {
+		s.clock = rec.NewClock()
+	}
+	s.startOff = s.clock.Now()
 	s.sample()
 	go func() {
 		defer close(s.done)
@@ -207,7 +252,23 @@ func (s *Sampler) Start() {
 			case <-s.stop:
 				return
 			case <-t.C:
+				t0 := time.Now()
 				s.sample()
+				if time.Since(t0) > s.cfg.Interval {
+					s.late.Add(1)
+				}
+				fired := s.ticks.Add(1)
+				// The ticker drops ticks it could not deliver; the gap
+				// between elapsed/interval and the fired count is exactly
+				// how many.
+				expected := uint64((s.clock.Now() - s.startOff) / s.cfg.Interval)
+				if expected > fired {
+					if miss := expected - fired; miss > s.skipped.Load() {
+						newly := miss - s.skipped.Load()
+						s.skipped.Store(miss)
+						s.cfg.Recorder.Record(rec.KindSamplerGap, -1, 0, newly, s.late.Load(), "")
+					}
+				}
 			}
 		}
 	}()

@@ -38,6 +38,8 @@ import (
 	"repro/internal/ds"
 	"repro/internal/ds/registry"
 	"repro/internal/mem"
+	"repro/internal/obs"
+	"repro/internal/obs/rec"
 	"repro/internal/smr"
 	"repro/internal/smr/all"
 	"repro/internal/store"
@@ -340,6 +342,81 @@ type ERAMatrix = core.Matrix
 // BuildERAMatrix measures every scheme and assembles the matrix;
 // TheoremHolds() reports the paper's main claim.
 func BuildERAMatrix(figureK int) (ERAMatrix, error) { return core.BuildMatrix(figureK) }
+
+// Recorder is the low-overhead flight recorder: a striped fixed-capacity
+// ring of typed events on one shared run clock, with drop-counted
+// overflow (see internal/obs/rec). Hand it to StoreConfig.Recorder,
+// chaos engines, samplers, and controllers so every layer writes onto
+// the same tape.
+type Recorder = rec.Recorder
+
+// RecorderEvent is one typed flight-recorder event.
+type RecorderEvent = rec.Event
+
+// RecorderClock is the shared monotonic run clock recorder events are
+// stamped against.
+type RecorderClock = rec.Clock
+
+// NewRecorder builds a flight recorder stamping events against clock
+// (nil starts a fresh run clock) and holding up to perStripe events in
+// each of its stripes (perStripe <= 0 selects the default capacity).
+func NewRecorder(clock *RecorderClock, perStripe int) *Recorder {
+	return rec.NewRecorder(clock, perStripe)
+}
+
+// NewRecorderClock starts a run clock at time zero = now.
+func NewRecorderClock() *RecorderClock { return rec.NewClock() }
+
+// ObsRegistry names the live components the observability plane exposes;
+// any field may be nil.
+type ObsRegistry = obs.Registry
+
+// ObsServer is a running observability HTTP server.
+type ObsServer = obs.Server
+
+// ServeObs serves the observability plane — Prometheus text on /metrics,
+// the flight-recorder stream on /timeline, live profiling under
+// /debug/pprof/ — on addr until Close.
+func ServeObs(addr string, reg *ObsRegistry) (*ObsServer, error) { return obs.Serve(addr, reg) }
+
+// ObsIncident is one fault's causal chain: fault fired → backlog
+// inflection → verdict flip → migration start/swap → heal, with the
+// detection and reaction latencies derived from it.
+type ObsIncident = obs.Incident
+
+// ObsTimeline is the joined per-shard incident view of a recorded run.
+type ObsTimeline = obs.Timeline
+
+// BuildObsTimeline joins a flight-recorder tape and sampled gauge series
+// into per-shard incident timelines.
+func BuildObsTimeline(events []RecorderEvent, series map[int][]TelemetryPoint, elapsed time.Duration) ObsTimeline {
+	return obs.BuildTimeline(events, series, elapsed)
+}
+
+// ObsConfig sizes the observability experiment: a faulted adaptive run
+// with the flight recorder on, joined into causal timelines, plus the
+// recorder-on vs recorder-off overhead comparison.
+type ObsConfig = bench.ObsConfig
+
+// ObsResult is the experiment outcome: the timeline, SLO and sampler
+// health snapshots, the raw tape, and the overhead verdict.
+type ObsResult = bench.ObsResult
+
+// RunObs runs the observability experiment (the erabench -exp obs
+// experiment is a thin wrapper over this).
+func RunObs(cfg ObsConfig) (ObsResult, error) { return bench.RunObs(cfg) }
+
+// WriteObsArtifact emits the experiment as the machine-readable
+// BENCH_obs.json artifact format.
+func WriteObsArtifact(w io.Writer, res ObsResult) error {
+	return bench.WriteObsReport(w, res)
+}
+
+// WriteObsTrace emits the recorded run as a Chrome trace-event file
+// (load it in chrome://tracing or Perfetto).
+func WriteObsTrace(w io.Writer, res ObsResult) error {
+	return bench.WriteObsTrace(w, res)
+}
 
 // WriteExperiments runs the full experiment suite to w (the erabench
 // command is a thin wrapper over this).
