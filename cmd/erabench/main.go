@@ -38,7 +38,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: matrix|space|scale|stall|throughput|structures|michael|service|chaos|adaptive|traverse|obs|all")
+	exp := flag.String("exp", "all", "experiment: matrix|space|scale|stall|throughput|structures|michael|service|chaos|adaptive|traverse|obs|pipeline|all")
 	shards := flag.Int("shards", 4, "shard count for the service experiment")
 	duration := flag.Duration("duration", 800*time.Millisecond, "traffic window for the adaptive experiment")
 	adaptiveJSON := flag.String("adaptive-json", "BENCH_adaptive.json",
@@ -55,6 +55,10 @@ func main() {
 		"run EXP-OBS at reduced scale (the CI smoke configuration)")
 	obsAddr := flag.String("obs-addr", "",
 		"serve the live observability plane on this address during the obs experiment (e.g. :8080)")
+	pipelineJSON := flag.String("pipeline-json", "BENCH_pipeline.json",
+		"pipeline artifact path, written by the pipeline experiment (empty disables)")
+	pipelineShort := flag.Bool("pipeline-short", false,
+		"run EXP-PIPELINE at reduced scale (the CI smoke configuration)")
 	k := flag.Int("k", 800, "churn length for space/matrix experiments")
 	ops := flag.Int("ops", 20000, "operations per thread for throughput experiments")
 	keyRange := flag.Int("keyrange", 1024, "key universe for throughput experiments")
@@ -67,7 +71,7 @@ func main() {
 	jsonPath := flag.String("json", "", "write throughput rows as a JSON benchmark artifact to this path")
 	flag.Parse()
 
-	exps := []string{"matrix", "space", "scale", "stall", "throughput", "structures", "michael", "service", "chaos", "adaptive", "traverse", "obs", "all"}
+	exps := []string{"matrix", "space", "scale", "stall", "throughput", "structures", "michael", "service", "chaos", "adaptive", "traverse", "obs", "pipeline", "all"}
 	known := false
 	for _, e := range exps {
 		known = known || e == *exp
@@ -160,6 +164,17 @@ func main() {
 			}
 			obsTraceFile = f
 		}
+	}
+
+	// And for the pipeline experiment's A/B + chaos artifact.
+	var pipelineFile *os.File
+	if *pipelineJSON != "" && want("pipeline") {
+		f, err := os.Create(*pipelineJSON)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "erabench: %v\n", err)
+			os.Exit(2)
+		}
+		pipelineFile = f
 	}
 
 	// Throughput-shaped rows accumulate here for the -json artifact.
@@ -401,6 +416,40 @@ func main() {
 				fmt.Printf("wrote %s\n", *obsTrace)
 			}
 			return bench.CheckObs(res)
+		})
+	}
+	if want("pipeline") {
+		run("EXP-PIPELINE: blocking vs pipelined scatter-gather + partial-failure chaos", func() error {
+			// The canned A/B: the same fan-out request stream executed as
+			// sequential blocking store calls, then through the pipelined
+			// executor — followed by the chaos campaign, which stalls one
+			// shard mid-traffic and must come back with partial results,
+			// shed/timeout accounting, and a clean store after heal.
+			cfg := bench.PipelineConfig{Seed: *seed}
+			if *pipelineShort {
+				cfg.Shards = 4
+				cfg.Duration = 250 * time.Millisecond
+				cfg.ChaosDuration = 400 * time.Millisecond
+				cfg.KeyRange = 1024
+				cfg.LegTimeout = 20 * time.Millisecond
+			}
+			res, err := bench.RunPipeline(cfg)
+			if err != nil {
+				return err
+			}
+			bench.WritePipelineTable(os.Stdout, res)
+			if pipelineFile != nil {
+				err := bench.WritePipelineReport(pipelineFile, res)
+				if cerr := pipelineFile.Close(); err == nil {
+					err = cerr
+				}
+				pipelineFile = nil
+				if err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", *pipelineJSON)
+			}
+			return bench.CheckPipeline(res)
 		})
 	}
 	if want("michael") {

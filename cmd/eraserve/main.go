@@ -7,6 +7,7 @@
 //	eraserve -shards 4 -duration 2s            # duration-boxed window
 //	eraserve -shards 4 -scheme ebr -adapt      # adaptive reclamation live
 //	eraserve -duration 10s -adapt -obs :8080   # live /metrics + /timeline + pprof
+//	eraserve -shards 4 -fanout 25              # 25% of fleet on cross-shard fan-out
 //
 // -scheme takes a comma-separated list cycled across shards, so
 // heterogeneous deployments (the ERA trade-off made per shard: robust HP
@@ -14,7 +15,11 @@
 // away. -duration switches from op-boxed to a wall-clock window (the
 // long-lived demo shape); -adapt additionally runs the adaptive
 // reclamation controller over the store, escalating/de-escalating each
-// shard along -ladder as its live robustness verdicts demand. -obs
+// shard along -ladder as its live robustness verdicts demand. -fanout
+// dedicates a share of the fleet to cross-shard multi-key and range
+// requests served by the pipelined scatter-gather executor
+// (internal/exec); their latency reports as separate p50/p99 rows
+// beside the point-op request percentiles. -obs
 // serves the observability plane for the duration of the run: Prometheus
 // text on /metrics, the flight-recorder event stream on /timeline, and
 // live profiling under /debug/pprof/. The measurement is written as a
@@ -57,6 +62,9 @@ func main() {
 		fmt.Sprintf("op-mix schedule %v", workload.ScheduleNames()))
 	opmix := flag.String("opmix", "50/25/25", "base contains/insert/delete percentages")
 	seed := flag.Uint64("seed", 42, "workload seed")
+	fanout := flag.Int("fanout", 0,
+		"dedicate this percentage of the client fleet (min one goroutine) to cross-shard fan-out traffic through the pipelined executor (0 disables)")
+	fanoutKeys := flag.Int("fanout-keys", 8, "keys per multi-key fan-out request (with -fanout)")
 	obsAddr := flag.String("obs", "",
 		"serve the live observability plane (/metrics, /timeline, /debug/pprof/) on this address during the run, e.g. :8080")
 	jsonPath := flag.String("json", "BENCH_service.json", "service artifact path (empty disables)")
@@ -135,6 +143,8 @@ func main() {
 		Seed:            *seed,
 		Duration:        *duration,
 		Adapt:           adaptCfg,
+		FanoutPct:       *fanout,
+		FanoutKeys:      *fanoutKeys,
 		ObsAddr:         *obsAddr,
 	}
 	if *obsAddr != "" {

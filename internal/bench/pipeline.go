@@ -1,0 +1,586 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/exec"
+	"repro/internal/hist"
+	"repro/internal/obs/rec"
+	"repro/internal/sched"
+	"repro/internal/smr/all"
+	"repro/internal/store"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// PipelineConfig sizes EXP-PIPELINE: the blocking-loop vs pipelined
+// scatter-gather A/B over a multi-key/range request mix, plus the
+// partial-failure campaign that stalls one shard under chaos and checks
+// the executor degrades it instead of the whole fan-out.
+type PipelineConfig struct {
+	// Shards is the shard count; 0 selects 4.
+	Shards int
+	// Schemes assigns reclamation schemes shard-by-shard (cycled); empty
+	// selects ["ebr"].
+	Schemes []string
+	// Structure is the per-shard set structure; empty selects "michael"
+	// (ordered iteration lets range legs early-stop at the upper bound).
+	Structure string
+	// WorkersPerShard sizes shard worker pools; 0 selects 1, so the
+	// campaign's stall fully parks its shard — the case where partial
+	// results and saturation shedding must carry the service.
+	WorkersPerShard int
+	// Clients is the closed-loop client count; 0 selects Shards.
+	Clients int
+	// Duration is each A/B arm's traffic window; 0 selects 1s.
+	Duration time.Duration
+	// ChaosDuration is the campaign window; 0 selects Duration.
+	ChaosDuration time.Duration
+	// Window is the pipelined arm's per-client in-flight budget; 0
+	// selects 8. The blocking arm is Window = 1 by construction.
+	Window int
+	// KeyRange is the key universe; 0 selects 4096.
+	KeyRange int
+	// ReqMix shapes the request stream; zero selects ReqMixFanout (every
+	// request scatters — the shape the executor exists for).
+	ReqMix workload.ReqMix
+	// Dist names the key distribution; empty selects "uniform".
+	Dist string
+	// MultiSize is the key count per multi-key request; 0 selects 8.
+	MultiSize int
+	// QueueDepth and DispatchersPerShard size the executor; 0 selects the
+	// executor's defaults (the campaign narrows QueueDepth to 8 so
+	// admission pressure is visible inside a short window).
+	QueueDepth          int
+	DispatchersPerShard int
+	// LegTimeout is the campaign's leg completion budget; 0 selects 25ms.
+	// The healthy A/B arms run with the executor default.
+	LegTimeout time.Duration
+	// FaultShard is the campaign's stalled shard; 0 selects 1.
+	FaultShard int
+	// Seed makes every request stream deterministic.
+	Seed uint64
+}
+
+func (cfg *PipelineConfig) fill() {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4
+	}
+	if len(cfg.Schemes) == 0 {
+		cfg.Schemes = []string{"ebr"}
+	}
+	if cfg.Structure == "" {
+		cfg.Structure = "michael"
+	}
+	if cfg.WorkersPerShard <= 0 {
+		cfg.WorkersPerShard = 1
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = cfg.Shards
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+	if cfg.ChaosDuration <= 0 {
+		cfg.ChaosDuration = cfg.Duration
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 8
+	}
+	if cfg.KeyRange <= 0 {
+		cfg.KeyRange = 4096
+	}
+	if cfg.ReqMix == (workload.ReqMix{}) {
+		cfg.ReqMix = workload.ReqMixFanout
+	}
+	if cfg.Dist == "" {
+		cfg.Dist = "uniform"
+	}
+	if cfg.MultiSize <= 0 {
+		cfg.MultiSize = 8
+	}
+	if cfg.LegTimeout <= 0 {
+		cfg.LegTimeout = 25 * time.Millisecond
+	}
+	if cfg.FaultShard <= 0 {
+		cfg.FaultShard = 1
+	}
+}
+
+// PipelineArmRow is one A/B arm's measurement. Requests are whole
+// cross-shard requests (a multiget, a range scan); P50/P99 are
+// request completion latencies — submit to merged result.
+type PipelineArmRow struct {
+	Arm        string        `json:"arm"`
+	Requests   uint64        `json:"requests"`
+	Elapsed    time.Duration `json:"elapsed_ns"`
+	ReqPerSec  float64       `json:"req_per_sec"`
+	P50        time.Duration `json:"p50_ns"`
+	P99        time.Duration `json:"p99_ns"`
+	Partial    uint64        `json:"partial,omitempty"`
+	Sheds      uint64        `json:"sheds,omitempty"`
+	Timeouts   uint64        `json:"timeouts,omitempty"`
+	ReqPerSecX float64       `json:"speedup_vs_blocking,omitempty"`
+}
+
+// PipelineChaosRow is the partial-failure campaign's measurement: the
+// fan-out picture while one shard is chaos-stalled, and whether the
+// failure chain closed (fault fired → typed partial results → heal →
+// clean request).
+type PipelineChaosRow struct {
+	FaultShard int           `json:"fault_shard"`
+	Window     time.Duration `json:"window_ns"`
+	Requests   uint64        `json:"requests"`
+	Partial    uint64        `json:"partial"`
+	Sheds      uint64        `json:"sheds"`
+	Timeouts   uint64        `json:"timeouts"`
+	// DegradedSeen reports the stalled shard observed effectively
+	// degraded during the window — the verdict loop flipping it, or its
+	// stalled-call budget saturating (the fully-parked case).
+	DegradedSeen bool `json:"degraded_seen"`
+	// HealthyP50/P99 are completion latencies of the *non-partial*
+	// requests in the window — the tail the surviving shards serve while
+	// one shard is parked.
+	HealthyP50 time.Duration `json:"healthy_p50_ns"`
+	HealthyP99 time.Duration `json:"healthy_p99_ns"`
+	FaultFired bool          `json:"fault_fired"`
+	FaultHeals bool          `json:"fault_healed"`
+	// CleanAfterHeal is the chain's last link: a full-width request after
+	// heal with no partial errors.
+	CleanAfterHeal bool `json:"clean_after_heal"`
+	// ScatterEvents/MergeEvents/ShedEvents count the exec events on the
+	// campaign's flight recorder.
+	ScatterEvents int `json:"scatter_events"`
+	MergeEvents   int `json:"merge_events"`
+	ShedEvents    int `json:"shed_events"`
+}
+
+// PipelineResult is the full EXP-PIPELINE outcome.
+type PipelineResult struct {
+	Shards    int              `json:"shards"`
+	Workers   int              `json:"workers_per_shard"`
+	Clients   int              `json:"clients"`
+	Window    int              `json:"window"`
+	Structure string           `json:"structure"`
+	ReqMix    workload.ReqMix  `json:"req_mix"`
+	Blocking  PipelineArmRow   `json:"blocking"`
+	Pipelined PipelineArmRow   `json:"pipelined"`
+	Chaos     PipelineChaosRow `json:"chaos"`
+	// PipelinedBeatsBlocking and PartialChainsClosed are the experiment's
+	// two acceptance booleans (the CI smoke greps them).
+	PipelinedBeatsBlocking bool `json:"pipelined_beats_blocking"`
+	PartialChainsClosed    bool `json:"partial_chains_closed"`
+}
+
+// newPipelineStore builds the experiment store (gated when the campaign
+// needs chaos hooks) and prefills it to half occupancy.
+func newPipelineStore(cfg PipelineConfig, gated bool, recorder *rec.Recorder) (*store.Store, []*sched.Breakpoints, error) {
+	specs := make([]store.ShardSpec, cfg.Shards)
+	var gates []*sched.Breakpoints
+	if gated {
+		gates = make([]*sched.Breakpoints, cfg.Shards)
+	}
+	for i := range specs {
+		specs[i] = store.ShardSpec{
+			Scheme:    cfg.Schemes[i%len(cfg.Schemes)],
+			Structure: cfg.Structure,
+			Workers:   cfg.WorkersPerShard,
+		}
+		if gated {
+			gates[i] = sched.NewBreakpoints()
+			specs[i].Gate = gates[i]
+		}
+	}
+	st, err := store.New(store.Config{Shards: specs, KeyRange: cfg.KeyRange, Recorder: recorder})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := prefillHalf(st, cfg.KeyRange, 64, cfg.Seed); err != nil {
+		st.Close()
+		return nil, nil, err
+	}
+	return st, gates, nil
+}
+
+func (cfg PipelineConfig) reqSource() (*workload.ReqSource, error) {
+	return workload.NewReqSource(workload.ReqConfig{
+		Dist:      cfg.Dist,
+		KeyRange:  cfg.KeyRange,
+		Mix:       cfg.ReqMix,
+		MultiSize: cfg.MultiSize,
+		Seed:      cfg.Seed,
+	})
+}
+
+// runBlockingArm is the baseline: each client executes one request at a
+// time against the store's native interface — a blocking Do for
+// point/multi requests, a sequential shard-by-shard loop for ranges —
+// and waits for the merged answer before drawing the next request.
+func runBlockingArm(st *store.Store, src *workload.ReqSource, cfg PipelineConfig, deadline time.Time) (uint64, hist.Latency, error) {
+	var wg sync.WaitGroup
+	reqs := make([]uint64, cfg.Clients)
+	lats := make([]hist.Latency, cfg.Clients)
+	fail := make([]error, cfg.Clients)
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			stream := src.Thread(c, 1<<20)
+			for time.Now().Before(deadline) {
+				req := stream.Next()
+				t0 := time.Now()
+				if err := blockingExecute(st, req); err != nil {
+					fail[c] = err
+					return
+				}
+				lats[c].Record(time.Since(t0))
+				reqs[c]++
+			}
+		}(c)
+	}
+	wg.Wait()
+	var total uint64
+	var lat hist.Latency
+	for c := 0; c < cfg.Clients; c++ {
+		if fail[c] != nil {
+			return 0, lat, fail[c]
+		}
+		total += reqs[c]
+		lat.Merge(&lats[c])
+	}
+	return total, lat, nil
+}
+
+// blockingExecute serves one request the pre-exec way. Per-op errors are
+// service behaviour (absorbed); only store-level failures propagate.
+func blockingExecute(st *store.Store, req workload.Req) error {
+	switch req.Kind {
+	case workload.ReqPoint, workload.ReqMultiGet, workload.ReqMultiInsert, workload.ReqMultiDelete:
+		ops := make([]store.Op, len(req.Keys))
+		for i, k := range req.Keys {
+			ops[i] = store.Op{Kind: workload.OpContains, Key: k}
+			switch req.Kind {
+			case workload.ReqPoint:
+				ops[i].Kind = req.Ops[i]
+			case workload.ReqMultiInsert:
+				ops[i].Kind = workload.OpInsert
+			case workload.ReqMultiDelete:
+				ops[i].Kind = workload.OpDelete
+			}
+		}
+		_, err := st.Do(ops)
+		return err
+	case workload.ReqRangeScan, workload.ReqRangeCount:
+		for s := 0; s < st.Shards(); s++ {
+			if _, _, err := st.ScanShard(s, req.Lo, req.Hi, 0, req.Kind == workload.ReqRangeCount); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("bench: unknown request kind %v", req.Kind)
+	}
+}
+
+// runPipelinedArm drives the executor with a per-client window of
+// asynchronous handles: submit until the window is full, then retire the
+// oldest — the pipelining the exec layer buys. Returns requests
+// completed, partial-result count, completion latencies for all
+// requests, and for the fully-successful ("healthy") ones alone.
+func runPipelinedArm(ex *exec.Executor, src *workload.ReqSource, cfg PipelineConfig, deadline time.Time) (uint64, uint64, hist.Latency, hist.Latency, error) {
+	var wg sync.WaitGroup
+	reqs := make([]uint64, cfg.Clients)
+	partials := make([]uint64, cfg.Clients)
+	lats := make([]hist.Latency, cfg.Clients)
+	healthy := make([]hist.Latency, cfg.Clients)
+	fail := make([]error, cfg.Clients)
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			stream := src.Thread(c, 1<<20)
+			window := make([]*exec.Handle, 0, cfg.Window)
+			retire := func(h *exec.Handle) {
+				res := h.Wait()
+				lats[c].Record(res.Elapsed)
+				reqs[c]++
+				if res.Partial() {
+					partials[c]++
+				} else {
+					healthy[c].Record(res.Elapsed)
+				}
+			}
+			for time.Now().Before(deadline) {
+				h, err := ex.Submit(stream.Next())
+				if err != nil {
+					fail[c] = err
+					return
+				}
+				window = append(window, h)
+				if len(window) == cfg.Window {
+					retire(window[0])
+					window = append(window[:0], window[1:]...)
+				}
+			}
+			for _, h := range window {
+				retire(h)
+			}
+		}(c)
+	}
+	wg.Wait()
+	var total, partial uint64
+	var lat, healthyLat hist.Latency
+	for c := 0; c < cfg.Clients; c++ {
+		if fail[c] != nil {
+			return 0, 0, lat, healthyLat, fail[c]
+		}
+		total += reqs[c]
+		partial += partials[c]
+		lat.Merge(&lats[c])
+		healthyLat.Merge(&healthy[c])
+	}
+	return total, partial, lat, healthyLat, nil
+}
+
+// RunPipeline runs EXP-PIPELINE: the blocking baseline arm, the
+// pipelined arm on an identical fresh store, then the partial-failure
+// campaign under a chaos stall with the verdict-driven admission loop
+// live. Each phase uses the same seed, so the arms draw identical
+// request streams.
+func RunPipeline(cfg PipelineConfig) (PipelineResult, error) {
+	cfg.fill()
+	res := PipelineResult{
+		Shards:    cfg.Shards,
+		Workers:   cfg.WorkersPerShard,
+		Clients:   cfg.Clients,
+		Window:    cfg.Window,
+		Structure: cfg.Structure,
+		ReqMix:    cfg.ReqMix,
+	}
+
+	// Arm A: blocking loop over the store's native interface.
+	{
+		st, _, err := newPipelineStore(cfg, false, nil)
+		if err != nil {
+			return res, err
+		}
+		src, err := cfg.reqSource()
+		if err != nil {
+			st.Close()
+			return res, err
+		}
+		start := time.Now()
+		n, lat, err := runBlockingArm(st, src, cfg, start.Add(cfg.Duration))
+		elapsed := time.Since(start)
+		if cerr := st.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return res, err
+		}
+		res.Blocking = PipelineArmRow{
+			Arm: "blocking", Requests: n, Elapsed: elapsed,
+			ReqPerSec: float64(n) / elapsed.Seconds(),
+			P50:       lat.Percentile(0.50), P99: lat.Percentile(0.99),
+		}
+	}
+
+	// Arm B: pipelined scatter-gather on an identical fresh store.
+	{
+		st, _, err := newPipelineStore(cfg, false, nil)
+		if err != nil {
+			return res, err
+		}
+		// The healthy arm disables the leg budget: there is no fault to
+		// bound, and the budget's watchdog goroutine would tax every leg.
+		// The campaign re-enables it and pays for it there.
+		ex, err := exec.New(st, exec.Config{
+			QueueDepth:          cfg.QueueDepth,
+			DispatchersPerShard: cfg.DispatchersPerShard,
+			LegTimeout:          -1,
+		})
+		if err != nil {
+			st.Close()
+			return res, err
+		}
+		src, err := cfg.reqSource()
+		if err != nil {
+			ex.Close()
+			st.Close()
+			return res, err
+		}
+		start := time.Now()
+		n, partial, lat, _, err := runPipelinedArm(ex, src, cfg, start.Add(cfg.Duration))
+		elapsed := time.Since(start)
+		stats := ex.Stats()
+		if cerr := ex.Close(); err == nil {
+			err = cerr
+		}
+		if cerr := st.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return res, err
+		}
+		res.Pipelined = PipelineArmRow{
+			Arm: "pipelined", Requests: n, Elapsed: elapsed,
+			ReqPerSec: float64(n) / elapsed.Seconds(),
+			P50:       lat.Percentile(0.50), P99: lat.Percentile(0.99),
+			Partial:   partial, Sheds: stats.Sheds, Timeouts: stats.Timeouts,
+		}
+		if res.Blocking.ReqPerSec > 0 {
+			res.Pipelined.ReqPerSecX = res.Pipelined.ReqPerSec / res.Blocking.ReqPerSec
+		}
+	}
+	res.PipelinedBeatsBlocking = res.Pipelined.ReqPerSec > res.Blocking.ReqPerSec
+
+	// Campaign: stall one shard under live traffic with the full
+	// admission loop (sampler → monitor → verdict → degrade) attached.
+	chaosRow, err := runPipelineChaos(cfg)
+	if err != nil {
+		return res, err
+	}
+	res.Chaos = chaosRow
+	res.PartialChainsClosed = chaosRow.FaultFired && chaosRow.Partial > 0 &&
+		chaosRow.FaultHeals && chaosRow.CleanAfterHeal
+	return res, nil
+}
+
+// runPipelineChaos is the partial-failure campaign: a gated store, the
+// verdict-driven admission loop live, one shard chaos-stalled for the
+// window, pipelined traffic throughout, then heal and a clean full-width
+// probe.
+func runPipelineChaos(cfg PipelineConfig) (PipelineChaosRow, error) {
+	row := PipelineChaosRow{FaultShard: cfg.FaultShard, Window: cfg.ChaosDuration}
+	recorder := rec.NewRecorder(nil, 0)
+	st, gates, err := newPipelineStore(cfg, true, recorder)
+	if err != nil {
+		return row, err
+	}
+	defer st.Close()
+
+	// The admission loop: gauge-tap sampler → online monitor →
+	// VerdictAdmission, the same classifier the adaptive controller
+	// trusts.
+	domains := make([]telemetry.Domain, st.Shards())
+	for s := range domains {
+		spec, err := st.Spec(s)
+		if err != nil {
+			return row, err
+		}
+		props, err := all.Props(spec.Scheme)
+		if err != nil {
+			return row, err
+		}
+		domains[s] = telemetry.Domain{
+			Scheme:   spec.Scheme,
+			Declared: props.Robustness,
+			Budget:   telemetry.Budget{Threads: spec.Workers, Threshold: spec.Threshold},
+		}
+	}
+	mon := telemetry.NewMonitor(telemetry.MonitorConfig{}, domains)
+	sampler := telemetry.NewSampler(
+		telemetry.Config{Interval: sampleEvery(cfg.ChaosDuration), Capacity: 4096,
+			OnSample: mon.Observe, Recorder: recorder},
+		storeProbe(st))
+	sampler.Start()
+	defer sampler.Stop()
+
+	queueDepth := cfg.QueueDepth
+	if queueDepth <= 0 {
+		queueDepth = 8 // narrow enough that a stalled shard's pressure shows
+	}
+	ex, err := exec.New(st, exec.Config{
+		QueueDepth:          queueDepth,
+		DispatchersPerShard: cfg.DispatchersPerShard,
+		LegTimeout:          cfg.LegTimeout,
+		Admission:           exec.VerdictAdmission{Mon: mon},
+		Recorder:            recorder,
+	})
+	if err != nil {
+		return row, err
+	}
+	defer ex.Close()
+
+	target := &chaos.Target{Store: st, Gates: gates, KeyRange: cfg.KeyRange}
+	engine := chaos.NewEngine(target)
+	engine.SetObs(nil, recorder)
+	if err := engine.Add("stall", chaos.Params{Shard: cfg.FaultShard}, chaos.OneShot(0)); err != nil {
+		return row, err
+	}
+	engine.Start()
+
+	src, err := cfg.reqSource()
+	if err != nil {
+		engine.Stop()
+		return row, err
+	}
+	deadline := time.Now().Add(cfg.ChaosDuration)
+	degraded := make(chan bool, 1)
+	go func() {
+		// Watch for the verdict loop flipping the stalled shard while
+		// traffic runs; one observation is enough.
+		for time.Now().Before(deadline) {
+			if ex.Degraded(cfg.FaultShard) {
+				degraded <- true
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		degraded <- false
+	}()
+	n, partial, _, healthyLat, err := runPipelinedArm(ex, src, cfg, deadline)
+	row.DegradedSeen = <-degraded
+	if err != nil {
+		engine.Stop()
+		return row, err
+	}
+	stats := ex.Stats()
+	row.Requests = n
+	row.Partial = partial
+	row.Sheds = stats.Sheds
+	row.Timeouts = stats.Timeouts
+	row.HealthyP50 = healthyLat.Percentile(0.50)
+	row.HealthyP99 = healthyLat.Percentile(0.99)
+
+	for _, ev := range engine.Events() {
+		if ev.Fault == "stall" {
+			row.FaultFired = ev.Err == ""
+		}
+	}
+	// Heal (Stop releases the held one-shot), then close the chain with a
+	// full-width probe: every shard answers, no partial errors.
+	engine.Stop()
+	for _, ev := range engine.Events() {
+		if ev.Fault == "stall" && ev.Healed > 0 {
+			row.FaultHeals = true
+		}
+	}
+	cleanDeadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(cleanDeadline) {
+		h, err := ex.RangeCount(0, int64(cfg.KeyRange))
+		if err != nil {
+			return row, err
+		}
+		if !h.Wait().Partial() {
+			row.CleanAfterHeal = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	for _, ev := range recorder.Snapshot() {
+		switch ev.Kind {
+		case rec.KindExecScatter:
+			row.ScatterEvents++
+		case rec.KindExecMerge:
+			row.MergeEvents++
+		case rec.KindExecShed:
+			row.ShedEvents++
+		}
+	}
+	return row, nil
+}

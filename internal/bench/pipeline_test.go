@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// shortPipelineConfig boxes EXP-PIPELINE to CI-sized windows: long
+// enough for the stall to saturate the leg budget and shed, short
+// enough for -race.
+func shortPipelineConfig() PipelineConfig {
+	return PipelineConfig{
+		Shards:        4,
+		Duration:      250 * time.Millisecond,
+		ChaosDuration: 400 * time.Millisecond,
+		KeyRange:      1024,
+		LegTimeout:    20 * time.Millisecond,
+		Seed:          7,
+	}
+}
+
+func TestRunPipelineShort(t *testing.T) {
+	res, err := RunPipeline(shortPipelineConfig())
+	if err != nil {
+		t.Fatalf("RunPipeline: %v", err)
+	}
+	if res.Blocking.Requests == 0 || res.Pipelined.Requests == 0 {
+		t.Fatalf("empty arm: blocking=%d pipelined=%d", res.Blocking.Requests, res.Pipelined.Requests)
+	}
+	if !res.PipelinedBeatsBlocking {
+		t.Errorf("pipelined arm (%.0f req/s) did not beat blocking (%.0f req/s)",
+			res.Pipelined.ReqPerSec, res.Blocking.ReqPerSec)
+	}
+	c := res.Chaos
+	if c.Requests == 0 {
+		t.Fatal("chaos campaign served no requests")
+	}
+	if c.Partial == 0 {
+		t.Error("chaos-stalled shard produced no partial results")
+	}
+	if !c.FaultFired || !c.FaultHeals || !c.CleanAfterHeal {
+		t.Errorf("partial-failure chain open: fired=%v healed=%v clean=%v",
+			c.FaultFired, c.FaultHeals, c.CleanAfterHeal)
+	}
+	if !res.PartialChainsClosed {
+		t.Error("PartialChainsClosed not set despite closed chain")
+	}
+	if c.ScatterEvents == 0 || c.MergeEvents == 0 {
+		t.Errorf("recorder missing exec events: scatter=%d merge=%d", c.ScatterEvents, c.MergeEvents)
+	}
+	if err := CheckPipeline(res); err != nil {
+		t.Errorf("CheckPipeline: %v", err)
+	}
+
+	var buf bytes.Buffer
+	WritePipelineTable(&buf, res)
+	for _, want := range []string{"blocking", "pipelined", "chaos:", "partial chains closed"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("table missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestPipelineReportRoundTrip(t *testing.T) {
+	res := PipelineResult{
+		Shards: 4, Workers: 1, Clients: 4, Window: 8, Structure: "michael",
+		ReqMix: workload.ReqMixFanout,
+		Blocking:  PipelineArmRow{Arm: "blocking", Requests: 100, ReqPerSec: 400},
+		Pipelined: PipelineArmRow{Arm: "pipelined", Requests: 300, ReqPerSec: 1200, ReqPerSecX: 3, Partial: 2},
+		Chaos: PipelineChaosRow{
+			FaultShard: 1, Requests: 50, Partial: 5, Sheds: 3,
+			FaultFired: true, FaultHeals: true, CleanAfterHeal: true, DegradedSeen: true,
+		},
+		PipelinedBeatsBlocking: true,
+		PartialChainsClosed:    true,
+	}
+	var buf bytes.Buffer
+	if err := WritePipelineReport(&buf, res); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	for _, want := range []string{`"experiment": "pipeline"`, `"pipelined_beats_blocking": true`, `"partial_chains_closed": true`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("artifact missing %q", want)
+		}
+	}
+	rep, err := ReadPipelineReport(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if rep.Experiment != "pipeline" || rep.Pipelined.Requests != 300 || !rep.PartialChainsClosed {
+		t.Errorf("round-trip mismatch: %+v", rep)
+	}
+	if err := CheckPipeline(rep.PipelineResult); err != nil {
+		t.Errorf("CheckPipeline on round-tripped result: %v", err)
+	}
+}

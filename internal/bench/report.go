@@ -92,6 +92,13 @@ func WriteServiceTable(w io.Writer, res ServiceResult) {
 	if a.OpErrs > 0 || a.Migrations > 0 {
 		fmt.Fprintf(w, "           op-errors %d, migrations %d\n", a.OpErrs, a.Migrations)
 	}
+	if a.FanoutPct > 0 {
+		fmt.Fprintf(w, "fan-out:   %d clients (%d%% of fleet) via pipelined executor: %d requests, p50 %s p99 %s\n",
+			a.FanoutClients, a.FanoutPct, a.FanoutReqs, fmtLatency(a.FanoutP50), fmtLatency(a.FanoutP99))
+		if a.FanoutPartial > 0 || a.FanoutErrs > 0 {
+			fmt.Fprintf(w, "           fan-out partials %d, fan-out op-errors %d\n", a.FanoutPartial, a.FanoutErrs)
+		}
+	}
 }
 
 // ServiceReport is the machine-readable sharded-service artifact (the
@@ -398,4 +405,68 @@ func ReadObsReport(r io.Reader) (ObsReport, error) {
 // Chrome trace-event file (chrome://tracing, ui.perfetto.dev).
 func WriteObsTrace(w io.Writer, res ObsResult) error {
 	return obs.WriteChromeTrace(w, res.Events, res.Series)
+}
+
+// WritePipelineTable renders EXP-PIPELINE: one line per A/B arm, the
+// partial-failure campaign summary, then the two acceptance headlines.
+func WritePipelineTable(w io.Writer, res PipelineResult) {
+	fmt.Fprintf(w, "%-10s %10s %12s %10s %10s %8s %7s %8s\n",
+		"arm", "requests", "req/s", "p50", "p99", "partial", "sheds", "timeouts")
+	for _, a := range []PipelineArmRow{res.Blocking, res.Pipelined} {
+		fmt.Fprintf(w, "%-10s %10d %12.0f %10s %10s %8d %7d %8d\n",
+			a.Arm, a.Requests, a.ReqPerSec, fmtLatency(a.P50), fmtLatency(a.P99),
+			a.Partial, a.Sheds, a.Timeouts)
+	}
+	c := res.Chaos
+	fmt.Fprintf(w, "chaos: shard %d stalled %s — %d requests, %d partial, %d sheds, %d timeouts, degraded seen %v\n",
+		c.FaultShard, c.Window.Round(time.Millisecond), c.Requests, c.Partial, c.Sheds, c.Timeouts, c.DegradedSeen)
+	fmt.Fprintf(w, "       healthy-request p50 %s p99 %s; fault fired %v healed %v clean-after-heal %v\n",
+		fmtLatency(c.HealthyP50), fmtLatency(c.HealthyP99), c.FaultFired, c.FaultHeals, c.CleanAfterHeal)
+	fmt.Fprintf(w, "       recorder: %d scatter / %d merge / %d shed events\n",
+		c.ScatterEvents, c.MergeEvents, c.ShedEvents)
+	fmt.Fprintf(w, "aggregate: %d shards × %d workers, %d clients, window %d, %s mix %s\n",
+		res.Shards, res.Workers, res.Clients, res.Window, res.Structure, res.ReqMix)
+	fmt.Fprintf(w, "           pipelined beats blocking: %v (%.2fx); partial chains closed: %v\n",
+		res.PipelinedBeatsBlocking, res.Pipelined.ReqPerSecX, res.PartialChainsClosed)
+}
+
+// PipelineReport is the machine-readable EXP-PIPELINE artifact (the
+// BENCH_pipeline.json file), under the same experiment convention as
+// Report.
+type PipelineReport struct {
+	Experiment string `json:"experiment"`
+	PipelineResult
+}
+
+// WritePipelineReport emits the pipeline experiment as an indented JSON
+// benchmark artifact.
+func WritePipelineReport(w io.Writer, res PipelineResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(PipelineReport{Experiment: "pipeline", PipelineResult: res})
+}
+
+// ReadPipelineReport parses an artifact written by WritePipelineReport.
+func ReadPipelineReport(r io.Reader) (PipelineReport, error) {
+	var rep PipelineReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return PipelineReport{}, fmt.Errorf("bench: malformed pipeline artifact: %w", err)
+	}
+	return rep, nil
+}
+
+// CheckPipeline applies EXP-PIPELINE's acceptance criteria: the
+// pipelined arm out-runs the blocking loop, and the partial-failure
+// chain closed (fault fired → typed partial results → heal → clean
+// full-width request).
+func CheckPipeline(res PipelineResult) error {
+	if !res.PipelinedBeatsBlocking {
+		return fmt.Errorf("bench: pipelined arm (%.0f req/s) did not beat blocking (%.0f req/s)",
+			res.Pipelined.ReqPerSec, res.Blocking.ReqPerSec)
+	}
+	if !res.PartialChainsClosed {
+		return fmt.Errorf("bench: partial-failure chain open: fired=%v partial=%d healed=%v clean=%v",
+			res.Chaos.FaultFired, res.Chaos.Partial, res.Chaos.FaultHeals, res.Chaos.CleanAfterHeal)
+	}
+	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/adapt"
+	"repro/internal/exec"
 	"repro/internal/hist"
 	"repro/internal/obs"
 	"repro/internal/obs/rec"
@@ -65,6 +66,17 @@ type ServiceConfig struct {
 	// Requires Duration > 0 — an op-boxed run has no deadline for the
 	// control loop to live inside.
 	Adapt *adapt.Config
+	// FanoutPct, when positive, adds a dedicated fan-out lane beside the
+	// point-op fleet: FanoutPct percent of Clients (at least one
+	// goroutine) drive cross-shard requests — multi-key gets, inserts,
+	// deletes plus range scans and counts, workload.ReqMixFanout — through
+	// the pipelined scatter-gather executor for the measured window.
+	// Fan-out latency lands in its own histogram and reports as separate
+	// p50/p99 rows beside the point-op request latency.
+	FanoutPct int
+	// FanoutKeys is the key count per multi-key fan-out request; 0
+	// selects 8.
+	FanoutKeys int
 	// ObsAddr, when non-empty, serves the live observability plane
 	// (/metrics, /timeline, /debug/pprof/) on this address for the
 	// duration of the run: the store's shards stamp the flight recorder,
@@ -100,6 +112,12 @@ func (cfg *ServiceConfig) fill() {
 	}
 	if cfg.Mix == (Mix{}) {
 		cfg.Mix = MixBalanced
+	}
+	if cfg.FanoutPct > 100 {
+		cfg.FanoutPct = 100
+	}
+	if cfg.FanoutPct > 0 && cfg.FanoutKeys <= 0 {
+		cfg.FanoutKeys = 8
 	}
 }
 
@@ -154,6 +172,19 @@ type ServiceRow struct {
 	OpErrs uint64 `json:"op_errs,omitempty"`
 	// Migrations totals the live scheme migrations across shards.
 	Migrations uint64 `json:"migrations,omitempty"`
+
+	// Fan-out lane measurement (FanoutPct runs only): cross-shard
+	// requests scattered through the pipelined executor, with their own
+	// percentiles beside the point-op P50/P99. FanoutPartial counts
+	// requests that completed with at least one failed leg; FanoutErrs
+	// counts tolerated per-key errors inside otherwise-complete results.
+	FanoutPct     int           `json:"fanout_pct,omitempty"`
+	FanoutClients int           `json:"fanout_clients,omitempty"`
+	FanoutReqs    uint64        `json:"fanout_reqs,omitempty"`
+	FanoutP50     time.Duration `json:"fanout_p50_ns,omitempty"`
+	FanoutP99     time.Duration `json:"fanout_p99_ns,omitempty"`
+	FanoutPartial uint64        `json:"fanout_partial,omitempty"`
+	FanoutErrs    uint64        `json:"fanout_errs,omitempty"`
 }
 
 // ServiceResult pairs the aggregate row with the per-shard breakdown.
@@ -214,6 +245,91 @@ func runClients(st *store.Store, src *workload.Source, cfg ServiceConfig, ops in
 		}
 	}
 	return nil
+}
+
+// fanoutOutcome is the fan-out lane's measurement: requests completed,
+// partial completions, tolerated per-key errors, and the lane's own
+// latency histogram.
+type fanoutOutcome struct {
+	clients int
+	reqs    uint64
+	partial uint64
+	errs    uint64
+	lat     hist.Latency
+	err     error
+}
+
+// runFanoutLane drives the dedicated fan-out clients through the
+// executor until stop closes. The point-op fleet runs concurrently on
+// the same store, so the lane's tail includes cross-traffic queueing —
+// which is what a service's fan-out tail means. Per-key errors and
+// partial completions are absorbed and counted, never fatal: the lane
+// measures the executor's service shape, and a shard mid-migration
+// answering ErrShardClosed is service behaviour.
+func runFanoutLane(ex *exec.Executor, cfg ServiceConfig, stop <-chan struct{}) fanoutOutcome {
+	n := cfg.Clients * cfg.FanoutPct / 100
+	if n < 1 {
+		n = 1
+	}
+	src, err := workload.NewReqSource(workload.ReqConfig{
+		Dist:      cfg.Workload,
+		KeyRange:  cfg.KeyRange,
+		Mix:       workload.ReqMixFanout,
+		MultiSize: cfg.FanoutKeys,
+		Seed:      cfg.Seed ^ 0xfa0fa0,
+	})
+	if err != nil {
+		return fanoutOutcome{err: err}
+	}
+	outs := make([]fanoutOutcome, n)
+	var wg sync.WaitGroup
+	for c := 0; c < n; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			o := &outs[c]
+			stream := src.Thread(c, 1<<20)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				t0 := time.Now()
+				h, err := ex.Submit(stream.Next())
+				if err != nil {
+					// ErrClosed races the stop signal at shutdown; anything
+					// else (a shed on a healthy store) still only costs the
+					// one request.
+					if errors.Is(err, exec.ErrClosed) {
+						return
+					}
+					o.errs++
+					continue
+				}
+				res := h.Wait()
+				o.lat.Record(time.Since(t0))
+				o.reqs++
+				if res.Partial() {
+					o.partial++
+				}
+				for _, r := range res.Results {
+					if r.Err != nil {
+						o.errs++
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	total := fanoutOutcome{clients: n}
+	for i := range outs {
+		total.reqs += outs[i].reqs
+		total.partial += outs[i].partial
+		total.errs += outs[i].errs
+		total.lat.Merge(&outs[i].lat)
+	}
+	return total
 }
 
 // prefillHalf inserts ~KeyRange/2 random keys through the service, so
@@ -385,6 +501,49 @@ func RunService(cfg ServiceConfig) (ServiceResult, error) {
 		before  store.Stats
 		ctl     *adapt.Controller
 	)
+	// The fan-out lane brackets the measured phase: started right before
+	// the clock, stopped right after, so its histogram covers the same
+	// window as the point-op percentiles it sits beside in the table.
+	var (
+		fanEx   *exec.Executor
+		fanStop chan struct{}
+		fanDone chan fanoutOutcome
+		fanOut  fanoutOutcome
+	)
+	startFanout := func() error {
+		if cfg.FanoutPct <= 0 {
+			return nil
+		}
+		// The serving lane disables the leg budget: the deployment is
+		// healthy, so there is no fault to bound and no reason to tax
+		// every leg with a watchdog (the chaos campaigns pay for the
+		// budget where it earns its keep).
+		var err error
+		fanEx, err = exec.New(st, exec.Config{LegTimeout: -1, Clock: clock, Recorder: recorder})
+		if err != nil {
+			return err
+		}
+		fanStop = make(chan struct{})
+		fanDone = make(chan fanoutOutcome, 1)
+		go func() { fanDone <- runFanoutLane(fanEx, cfg, fanStop) }()
+		return nil
+	}
+	stopFanout := func() error {
+		if fanEx == nil {
+			return nil
+		}
+		close(fanStop)
+		fanOut = <-fanDone
+		err := fanEx.Close()
+		fanEx = nil
+		if fanOut.err != nil {
+			return fanOut.err
+		}
+		return err
+	}
+	// Error returns between start and stop must still retire the lane —
+	// the deferred stop is a no-op on the paths that stopped explicitly.
+	defer func() { _ = stopFanout() }()
 	if cfg.Duration > 0 {
 		// Duration-boxed: no warmup (the window owns its ramp), errors
 		// tolerated, optional adaptive controller live over the store.
@@ -399,10 +558,16 @@ func RunService(cfg ServiceConfig) (ServiceResult, error) {
 		if err := serveObs(&obs.Registry{Store: st, Sampler: sampler, Monitor: mon, Recorder: recorder}); err != nil {
 			return ServiceResult{}, err
 		}
+		if err := startFanout(); err != nil {
+			return ServiceResult{}, err
+		}
 		before = st.Stats()
 		start := time.Now()
 		ops, opErrs, lat, err = runTimedClients(st, src, cfg.Clients, cfg.Batch, start.Add(cfg.Duration), nil)
 		elapsed = time.Since(start)
+		if serr := stopFanout(); err == nil {
+			err = serr
+		}
 		if ctl != nil {
 			ctl.Stop()
 			sampler.Stop()
@@ -426,13 +591,20 @@ func RunService(cfg ServiceConfig) (ServiceResult, error) {
 				return ServiceResult{}, err
 			}
 		}
+		if err := startFanout(); err != nil {
+			return ServiceResult{}, err
+		}
 		before = st.Stats()
 		lats := make([]hist.Latency, cfg.Clients)
 		start := time.Now()
-		if err := runClients(st, src, cfg, cfg.OpsPerClient, lats); err != nil {
+		err := runClients(st, src, cfg, cfg.OpsPerClient, lats)
+		elapsed = time.Since(start)
+		if serr := stopFanout(); err == nil {
+			err = serr
+		}
+		if err != nil {
 			return ServiceResult{}, err
 		}
-		elapsed = time.Since(start)
 		for i := range lats {
 			lat.Merge(&lats[i])
 		}
@@ -470,6 +642,15 @@ func RunService(cfg ServiceConfig) (ServiceResult, error) {
 		Restarts:       after.Restarts,
 		OpErrs:         opErrs,
 		Migrations:     after.Migrations,
+	}
+	if cfg.FanoutPct > 0 {
+		agg.FanoutPct = cfg.FanoutPct
+		agg.FanoutClients = fanOut.clients
+		agg.FanoutReqs = fanOut.reqs
+		agg.FanoutP50 = fanOut.lat.Percentile(0.50)
+		agg.FanoutP99 = fanOut.lat.Percentile(0.99)
+		agg.FanoutPartial = fanOut.partial
+		agg.FanoutErrs = fanOut.errs
 	}
 	rows := make([]ServiceShardRow, cfg.Shards)
 	for i, sh := range after.Shards {

@@ -1,6 +1,7 @@
 package bench_test
 
 import (
+	"strings"
 	"time"
 
 	"repro/internal/adapt"
@@ -54,6 +55,50 @@ func TestRunServiceHeterogeneous(t *testing.T) {
 	}
 	if shardOps != uint64(a.Ops) {
 		t.Fatalf("shard ops sum %d != aggregate %d", shardOps, a.Ops)
+	}
+}
+
+// TestRunServiceFanoutLane runs the service experiment with a fan-out
+// lane beside the point-op fleet: the executor-served requests must be
+// counted into their own histogram (separate p50/p99), the lane must be
+// clean on a healthy store (no partials, no op errors), and the
+// point-op accounting must stay exactly as it is without the lane.
+func TestRunServiceFanoutLane(t *testing.T) {
+	res, err := bench.RunService(bench.ServiceConfig{
+		Shards:       4,
+		Schemes:      []string{"ebr"},
+		Structure:    "michael", // ordered: range legs exercise the iterator
+		Clients:      4,
+		OpsPerClient: 600,
+		Batch:        8,
+		KeyRange:     512,
+		FanoutPct:    50,
+		Seed:         9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Aggregate
+	if a.Ops != 4*600 {
+		t.Fatalf("point ops: %d", a.Ops)
+	}
+	if a.FanoutClients != 2 {
+		t.Fatalf("fan-out clients: %d, want 2 (50%% of 4)", a.FanoutClients)
+	}
+	if a.FanoutReqs == 0 {
+		t.Fatal("fan-out lane served no requests")
+	}
+	if a.FanoutP50 == 0 || a.FanoutP99 < a.FanoutP50 {
+		t.Fatalf("fan-out latency: p50=%v p99=%v", a.FanoutP50, a.FanoutP99)
+	}
+	if a.FanoutPartial != 0 || a.FanoutErrs != 0 {
+		t.Fatalf("healthy fan-out lane: partial=%d errs=%d", a.FanoutPartial, a.FanoutErrs)
+	}
+
+	var buf strings.Builder
+	bench.WriteServiceTable(&buf, res)
+	if !strings.Contains(buf.String(), "fan-out:") {
+		t.Fatalf("service table missing fan-out row:\n%s", buf.String())
 	}
 }
 

@@ -1,0 +1,100 @@
+package exec
+
+import (
+	"repro/internal/smr"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// VerdictAdmission derives the executor's per-shard degradation signal
+// from the live telemetry monitor: a shard is degraded while its backlog
+// verdict is conclusive and audits NotRobust — the same unbounded-growth
+// evidence that makes the adaptive controller climb the reclamation
+// ladder. An inconclusive window (too little evidence) never degrades a
+// shard: admission control reacts to demonstrated pathology, not to
+// silence.
+type VerdictAdmission struct {
+	Mon *telemetry.Monitor
+}
+
+// Degraded reports whether shard's live verdict audits NotRobust.
+func (a VerdictAdmission) Degraded(shard int) bool {
+	if a.Mon == nil || shard < 0 || shard >= a.Mon.Domains() {
+		return false
+	}
+	v := a.Mon.Verdict(shard)
+	return !v.Inconclusive() && v.AuditedClass() == smr.NotRobust
+}
+
+// Stats is a point-in-time snapshot of the executor's accounting: the
+// request ledger (submitted by kind, completed, partial) and the
+// per-shard scatter-leg ledger (executed, shed, stalled).
+type Stats struct {
+	// Submitted counts requests accepted, by request-kind name.
+	Submitted map[string]uint64
+	// Requests, Completed and Partial count whole requests; Partial are
+	// completed requests carrying at least one per-shard error.
+	Requests  uint64
+	Completed uint64
+	Partial   uint64
+	// Legs, Sheds, Timeouts and LegErrs aggregate the per-shard ledgers.
+	Legs     uint64
+	Sheds    uint64
+	Timeouts uint64
+	LegErrs  uint64
+	// Shards holds one entry per store shard.
+	Shards []ShardExecStats
+}
+
+// ShardExecStats is one shard's scatter-leg ledger.
+type ShardExecStats struct {
+	Shard int
+	// Queued and QueueCap are the leg queue's depth gauge and capacity.
+	Queued   int
+	QueueCap int
+	// Degraded is the shard's current admission state.
+	Degraded bool
+	// Stalled gauges store calls still running past their leg's budget.
+	Stalled int
+	// Legs counts legs accepted onto the queue; Sheds legs refused by
+	// admission control; Timeouts legs that exceeded their budget (failed
+	// fast included); LegErrs legs whose store call failed wholesale.
+	Legs     uint64
+	Sheds    uint64
+	Timeouts uint64
+	LegErrs  uint64
+}
+
+// Stats snapshots the executor's accounting. Safe to call concurrently
+// with traffic; counters are read individually, so the snapshot is
+// approximate under load but every counter is exact.
+func (ex *Executor) Stats() Stats {
+	st := Stats{Submitted: make(map[string]uint64, len(ex.submitted))}
+	for k := range ex.submitted {
+		if n := ex.submitted[k].Load(); n > 0 {
+			st.Submitted[workload.ReqKind(k).String()] = n
+		}
+		st.Requests += ex.submitted[k].Load()
+	}
+	st.Completed = ex.completed.Load()
+	st.Partial = ex.partial.Load()
+	for s, q := range ex.queues {
+		sh := ShardExecStats{
+			Shard:    s,
+			Queued:   len(q.legs),
+			QueueCap: cap(q.legs),
+			Degraded: q.degraded.Load() || ex.saturated(q),
+			Stalled:  int(q.stalled.Load()),
+			Legs:     q.legsTotal.Load(),
+			Sheds:    q.sheds.Load(),
+			Timeouts: q.timeouts.Load(),
+			LegErrs:  q.legErrs.Load(),
+		}
+		st.Legs += sh.Legs
+		st.Sheds += sh.Sheds
+		st.Timeouts += sh.Timeouts
+		st.LegErrs += sh.LegErrs
+		st.Shards = append(st.Shards, sh)
+	}
+	return st
+}

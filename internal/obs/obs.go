@@ -18,6 +18,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/exec"
 	"repro/internal/obs/rec"
 	"repro/internal/smr"
 	"repro/internal/store"
@@ -32,6 +33,7 @@ type Registry struct {
 	Monitor  *telemetry.Monitor
 	Recorder *rec.Recorder
 	SLO      *SLOMonitor
+	Exec     *exec.Executor
 }
 
 // VerdictHook adapts the flight recorder into a telemetry
@@ -226,6 +228,63 @@ func (r *Registry) WriteMetrics(w io.Writer) error {
 		}
 	}
 
+	// Execution-layer ledgers: the scatter-gather request mix, and the
+	// per-shard admission picture (queue pressure, degradation, sheds,
+	// stalled legs) that explains why fan-out latency moved.
+	if r.Exec != nil {
+		es := r.Exec.Stats()
+		req := r.family(w, "era_exec_requests_total", "counter",
+			"Cross-shard requests accepted by the execution layer, by request kind.")
+		for _, kind := range sortedKeys(es.Submitted) {
+			req.add(fmt.Sprintf(`kind="%s"`, escapeLabel(kind)), float64(es.Submitted[kind]))
+		}
+		if req.err != nil {
+			return req.err
+		}
+		for _, m := range []struct {
+			name, typ, help string
+			v               float64
+		}{
+			{"era_exec_completed_total", "counter", "Requests whose merge stage has run.", float64(es.Completed)},
+			{"era_exec_partial_total", "counter", "Completed requests carrying at least one per-shard error.", float64(es.Partial)},
+		} {
+			fam := r.family(w, m.name, m.typ, m.help)
+			fam.add("", m.v)
+			if fam.err != nil {
+				return fam.err
+			}
+		}
+		for _, g := range []struct {
+			name, typ, help string
+			val             func(exec.ShardExecStats) float64
+		}{
+			{"era_exec_legs_total", "counter", "Scatter legs accepted onto the shard's queue.",
+				func(s exec.ShardExecStats) float64 { return float64(s.Legs) }},
+			{"era_exec_sheds_total", "counter", "Scatter legs refused by admission control.",
+				func(s exec.ShardExecStats) float64 { return float64(s.Sheds) }},
+			{"era_exec_leg_timeouts_total", "counter", "Scatter legs that exceeded their completion budget.",
+				func(s exec.ShardExecStats) float64 { return float64(s.Timeouts) }},
+			{"era_exec_leg_errs_total", "counter", "Scatter legs whose store call failed wholesale.",
+				func(s exec.ShardExecStats) float64 { return float64(s.LegErrs) }},
+			{"era_exec_queue_depth", "gauge", "Scatter legs currently queued on the shard.",
+				func(s exec.ShardExecStats) float64 { return float64(s.Queued) }},
+			{"era_exec_queue_cap", "gauge", "The shard's leg-queue capacity.",
+				func(s exec.ShardExecStats) float64 { return float64(s.QueueCap) }},
+			{"era_exec_degraded", "gauge", "1 while admission control has the shard degraded.",
+				func(s exec.ShardExecStats) float64 { return b2f(s.Degraded) }},
+			{"era_exec_stalled_calls", "gauge", "Store calls still running past their leg's budget.",
+				func(s exec.ShardExecStats) float64 { return float64(s.Stalled) }},
+		} {
+			fam := r.family(w, g.name, g.typ, g.help)
+			for _, s := range es.Shards {
+				fam.add(fmt.Sprintf(`shard="%d"`, s.Shard), g.val(s))
+			}
+			if fam.err != nil {
+				return fam.err
+			}
+		}
+	}
+
 	// Tail-latency SLO: "robust but slow" as a first-class state.
 	if r.SLO != nil {
 		s := r.SLO.Snapshot()
@@ -246,6 +305,15 @@ func (r *Registry) WriteMetrics(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+func sortedKeys(m map[string]uint64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func b2f(b bool) float64 {

@@ -98,6 +98,18 @@ const (
 	// KindSamplerGap records telemetry ticks lost in one sampling window:
 	// A = skipped ticks, B = late ticks.
 	KindSamplerGap
+	// KindExecScatter records one cross-shard request fanned out by the
+	// exec layer: A = scatter legs, B = operations carried,
+	// Label = request kind ("multiget", "rangescan", ...).
+	KindExecScatter
+	// KindExecMerge records the matching merge-stage completion:
+	// A = merged results/keys, B = scatter→merge latency in nanoseconds,
+	// Label = request kind. Shard is -1 (the merge spans shards).
+	KindExecMerge
+	// KindExecShed records one scatter leg refused by admission control:
+	// A = the shard's queued legs at the shed, B = that queue's capacity,
+	// Label = request kind.
+	KindExecShed
 	kindCount
 )
 
@@ -116,6 +128,9 @@ var kindNames = [kindCount]string{
 	KindSLOBreach:      "slo-breach",
 	KindSLOClear:       "slo-clear",
 	KindSamplerGap:     "sampler-gap",
+	KindExecScatter:    "exec-scatter",
+	KindExecMerge:      "exec-merge",
+	KindExecShed:       "exec-shed",
 }
 
 // String returns the kind's wire name.

@@ -14,13 +14,82 @@ import (
 
 // request is one shard's slice of a client batch. The worker writes each
 // operation's outcome straight into the caller's result slice at the
-// caller's positions; the WaitGroup hand-off orders those writes before
-// the caller reads them.
+// caller's positions; the completion hand-off (WaitGroup for the
+// blocking paths, done callback for the async ones) orders those writes
+// before the caller reads them.
 type request struct {
 	ops []Op
 	res []Result
+	// idx maps ops positions into res; nil means identity (res[i]
+	// answers ops[i]).
 	idx []int
-	wg  *sync.WaitGroup
+	// Exactly one of wg and done is set. wg serves the blocking paths
+	// (Do, DoShard, ScanShard); done serves the async ones and runs on
+	// the worker that completed the request.
+	wg   *sync.WaitGroup
+	done func()
+	// scan, when non-nil, makes this request a range leg instead of a
+	// point-op batch: the worker walks the shard structure's iterator on
+	// its own tid and collects the live keys in [lo, hi). ops/res/idx are
+	// unused for scan requests. Range legs travel the same queue as
+	// point-op batches on purpose — they are subject to the same
+	// backpressure, the same drain, and the same faults.
+	scan *scanRequest
+}
+
+// complete publishes the request's results to its submitter: the
+// blocking paths park on the WaitGroup, the async paths get their
+// callback run right here on the worker.
+func (r *request) complete() {
+	if r.wg != nil {
+		r.wg.Done()
+		return
+	}
+	if r.done != nil {
+		r.done()
+	}
+}
+
+// scanRequest is one range leg: the half-open key interval, an optional
+// collection limit, and the outcome fields the worker fills before the
+// WaitGroup hand-off publishes them to the caller.
+type scanRequest struct {
+	lo, hi    int64
+	limit     int // max keys collected; <= 0 is unbounded
+	countOnly bool
+	keys      []int64
+	count     uint64
+	err       error
+}
+
+// run executes the range leg on worker tid. The walk goes through the
+// structure's guarded iterator (O(live keys), epoch re-bracketing), never
+// a raw memory sweep, so it is safe against concurrent mutation and a
+// never-draining faulted neighbour alike. On ordered structures emission
+// is globally ascending, so the walk stops at the first key ≥ hi instead
+// of sweeping the whole structure; partitioned structures are only
+// bucket-ordered and must complete the sweep.
+func (sc *scanRequest) run(sh *shard, tid int) {
+	it, ok := sh.set.(ds.Iterator)
+	if !ok {
+		sc.err = fmt.Errorf("store: %s does not implement ds.Iterator", sh.set.Name())
+		return
+	}
+	sc.err = it.Iterate(tid, func(k int64) bool {
+		if k >= sc.hi {
+			// Ascending emission: no later key can fall back inside the
+			// interval, so an ordered structure's leg is O(keys ≤ hi).
+			return !sh.ordered
+		}
+		if k < sc.lo {
+			return true
+		}
+		sc.count++
+		if !sc.countOnly {
+			sc.keys = append(sc.keys, k)
+		}
+		return sc.limit <= 0 || sc.count < uint64(sc.limit)
+	})
 }
 
 // opStripe is one worker's share of the shard's service counters, padded
@@ -46,6 +115,11 @@ type shard struct {
 	// collide with a worker tid — not even with a faulted worker that
 	// never drained.
 	maint int
+	// ordered reports that the structure's iterator emits keys in global
+	// ascending order (ordered structures), which lets range legs stop at
+	// the interval's upper bound; partitioned structures are only ordered
+	// per bucket and must sweep fully.
+	ordered bool
 
 	reqs chan *request
 	wg   sync.WaitGroup
@@ -61,6 +135,17 @@ func (sh *shard) worker(tid int) {
 	defer sh.wg.Done()
 	stripe := &sh.stripes[tid]
 	for req := range sh.reqs {
+		if req.scan != nil {
+			// A range leg counts as one operation for progress accounting
+			// (await's stall detector watches the op stripes).
+			req.scan.run(sh, tid)
+			stripe.ops.Add(1)
+			if req.scan.err != nil {
+				stripe.errs.Add(1)
+			}
+			req.complete()
+			continue
+		}
 		for i, op := range req.ops {
 			var ok bool
 			var err error
@@ -74,7 +159,11 @@ func (sh *shard) worker(tid int) {
 			default:
 				err = fmt.Errorf("store: invalid op kind %d", op.Kind)
 			}
-			req.res[req.idx[i]] = Result{OK: ok, Err: err}
+			pos := i
+			if req.idx != nil {
+				pos = req.idx[i]
+			}
+			req.res[pos] = Result{OK: ok, Err: err}
 			stripe.ops.Add(1)
 			if ok {
 				stripe.hits.Add(1)
@@ -83,7 +172,7 @@ func (sh *shard) worker(tid int) {
 				stripe.errs.Add(1)
 			}
 		}
-		req.wg.Done()
+		req.complete()
 	}
 }
 

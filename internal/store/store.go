@@ -279,6 +279,7 @@ func newShard(id int, spec ShardSpec, cfg Config) (*shard, error) {
 		scheme:  s,
 		set:     set,
 		maint:   spec.Workers,
+		ordered: !info.Partitioned,
 		reqs:    make(chan *request, cfg.QueueDepth),
 		stripes: make([]opStripe, spec.Workers),
 	}
@@ -361,6 +362,153 @@ func (st *Store) Do(ops []Op) ([]Result, error) {
 	st.mu.RUnlock()
 	wg.Wait()
 	return res, nil
+}
+
+// DoShard executes one batch entirely on shard s — the scatter-leg
+// submission path the exec layer (internal/exec) compiles cross-shard
+// operations onto. Unlike Do it does not route: the caller has already
+// grouped its operations by ShardFor, and the whole group travels as one
+// message to shard s's workers. A drained shard fails the leg with
+// ErrShardClosed (typed, so fan-out layers can surface it as a per-shard
+// partial-failure instead of a failed fan-out); per-operation errors land
+// in the individual Results exactly as with Do.
+func (st *Store) DoShard(s int, ops []Op) ([]Result, error) {
+	if s < 0 || s >= len(st.shards) {
+		return nil, fmt.Errorf("store: no shard %d", s)
+	}
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	res := make([]Result, len(ops))
+	idx := make([]int, len(ops))
+	for i := range idx {
+		idx[i] = i
+	}
+	var wg sync.WaitGroup
+	st.mu.RLock()
+	if st.closed {
+		st.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	sh := st.shards[s]
+	if sh.closed {
+		st.mu.RUnlock()
+		return nil, ErrShardClosed
+	}
+	wg.Add(1)
+	sh.reqs <- &request{ops: ops, res: res, idx: idx, wg: &wg}
+	st.mu.RUnlock()
+	wg.Wait()
+	return res, nil
+}
+
+// ScanShard walks shard s's live keys in the half-open interval [lo, hi)
+// and returns them in the structure's iterator emission order, plus the
+// match count. The leg travels the shard's request queue and executes on
+// a worker tid through the structure's guarded iterator — O(live keys),
+// epoch re-bracketed, subject to the same backpressure and faults as any
+// batch — so it is the range-scatter primitive the exec layer fans
+// RangeScan/RangeCount across shards with. limit > 0 caps the collected
+// keys; countOnly skips collection and returns only the count. Ordered
+// structures stop at the first key ≥ hi; partitioned ones sweep their
+// buckets, so cross-shard callers must sort-merge (exec's merge stage
+// does).
+func (st *Store) ScanShard(s int, lo, hi int64, limit int, countOnly bool) ([]int64, uint64, error) {
+	if s < 0 || s >= len(st.shards) {
+		return nil, 0, fmt.Errorf("store: no shard %d", s)
+	}
+	if hi <= lo {
+		return nil, 0, nil
+	}
+	sc := &scanRequest{lo: lo, hi: hi, limit: limit, countOnly: countOnly}
+	var wg sync.WaitGroup
+	st.mu.RLock()
+	if st.closed {
+		st.mu.RUnlock()
+		return nil, 0, ErrClosed
+	}
+	sh := st.shards[s]
+	if sh.closed {
+		st.mu.RUnlock()
+		return nil, 0, ErrShardClosed
+	}
+	wg.Add(1)
+	sh.reqs <- &request{scan: sc, wg: &wg}
+	st.mu.RUnlock()
+	wg.Wait()
+	if sc.err != nil {
+		return nil, sc.count, sc.err
+	}
+	return sc.keys, sc.count, nil
+}
+
+// DoShardAsync is DoShard's asynchronous, non-blocking form: the batch
+// is offered to shard s's request queue and the call returns
+// immediately — accepted reports whether the queue had room. On
+// acceptance, the worker that completes the batch writes each
+// operation's outcome into res (at idx positions when idx is non-nil,
+// res[i] answers ops[i] otherwise) and then runs done on its own
+// goroutine; done observes every result write. done must be light — it
+// occupies the shard worker. A refused batch (accepted == false, err ==
+// nil) touched nothing and may be retried; a drained shard or closed
+// store refuses with the same typed errors as DoShard. This is the
+// submission path a pipelined fan-out layer needs: one goroutine can
+// keep many legs in flight with no blocked thread per leg.
+func (st *Store) DoShardAsync(s int, ops []Op, res []Result, idx []int, done func()) (accepted bool, err error) {
+	if s < 0 || s >= len(st.shards) {
+		return false, fmt.Errorf("store: no shard %d", s)
+	}
+	if len(ops) == 0 {
+		done()
+		return true, nil
+	}
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if st.closed {
+		return false, ErrClosed
+	}
+	sh := st.shards[s]
+	if sh.closed {
+		return false, ErrShardClosed
+	}
+	select {
+	case sh.reqs <- &request{ops: ops, res: res, idx: idx, done: done}:
+		return true, nil
+	default:
+		return false, nil
+	}
+}
+
+// ScanShardAsync is ScanShard's asynchronous, non-blocking form: the
+// range leg is offered to shard s's request queue; accepted reports
+// whether the queue had room. On acceptance, the worker that ran the
+// walk calls done with the leg's outcome. The same contract as
+// DoShardAsync applies: a refusal touched nothing, done runs on the
+// worker and must be light.
+func (st *Store) ScanShardAsync(s int, lo, hi int64, limit int, countOnly bool, done func(keys []int64, count uint64, err error)) (accepted bool, err error) {
+	if s < 0 || s >= len(st.shards) {
+		return false, fmt.Errorf("store: no shard %d", s)
+	}
+	if hi <= lo {
+		done(nil, 0, nil)
+		return true, nil
+	}
+	sc := &scanRequest{lo: lo, hi: hi, limit: limit, countOnly: countOnly}
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if st.closed {
+		return false, ErrClosed
+	}
+	sh := st.shards[s]
+	if sh.closed {
+		return false, ErrShardClosed
+	}
+	select {
+	case sh.reqs <- &request{scan: sc, done: func() { done(sc.keys, sc.count, sc.err) }}:
+		return true, nil
+	default:
+		return false, nil
+	}
 }
 
 // do1 runs a single operation through the batch path.

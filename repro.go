@@ -37,6 +37,7 @@ import (
 	"repro/internal/core/adversary"
 	"repro/internal/ds"
 	"repro/internal/ds/registry"
+	"repro/internal/exec"
 	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/obs/rec"
@@ -207,6 +208,73 @@ func RunService(cfg ServiceConfig) (ServiceResult, error) { return bench.RunServ
 // machine-readable BENCH_service.json artifact format.
 func WriteServiceArtifact(w io.Writer, res ServiceResult) error {
 	return bench.WriteServiceReport(w, res)
+}
+
+// Executor is the pipelined scatter-gather execution layer over a Store:
+// cross-shard multi-key and range requests compile into per-shard
+// scatter legs, submit asynchronously (no goroutine blocks per in-flight
+// leg), and merge deterministically on the shard worker that completes
+// the last leg. Verdict-driven admission control queues or sheds legs
+// bound for degraded shards, and a per-leg completion budget turns a
+// fault-parked shard into typed partial results instead of a hung
+// request (see internal/exec).
+type Executor = exec.Executor
+
+// ExecConfig assembles an Executor: queue depth, pump pool, leg budget,
+// admission signal, and flight-recorder wiring.
+type ExecConfig = exec.Config
+
+// ExecHandle is an in-flight cross-shard request: Done/Wait/Result for
+// completion, with the merged ExecResult carrying per-key outcomes and
+// typed per-shard partial failures.
+type ExecHandle = exec.Handle
+
+// ExecResult is a merged scatter-gather outcome. Partial() reports
+// whether any leg failed wholesale; ShardErrs carries the typed
+// per-shard reasons.
+type ExecResult = exec.Result
+
+// ExecShardError is one shard leg's typed failure; errors.Is matches
+// ErrExecShed / ErrExecLegStalled through it.
+type ExecShardError = exec.ShardError
+
+// ExecStats is the executor's service counters: submitted, completed,
+// partial, plus per-shard scatter/queue/shed/timeout accounting.
+type ExecStats = exec.Stats
+
+// Executor-layer sentinel errors.
+var (
+	ErrExecClosed     = exec.ErrClosed
+	ErrExecShed       = exec.ErrShed
+	ErrExecLegStalled = exec.ErrLegStalled
+)
+
+// NewExecutor builds the scatter-gather layer over a running store.
+func NewExecutor(st *Store, cfg ExecConfig) (*Executor, error) { return exec.New(st, cfg) }
+
+// ExecVerdictAdmission adapts a telemetry monitor into the executor's
+// admission signal: a shard whose live robustness verdict degrades stops
+// receiving blocking backpressure and starts queueing or shedding.
+// Assign one to ExecConfig.Admission.
+type ExecVerdictAdmission = exec.VerdictAdmission
+
+// PipelineConfig sizes the pipelined-execution experiment: the blocking
+// vs pipelined A/B plus the partial-failure chaos campaign.
+type PipelineConfig = bench.PipelineConfig
+
+// PipelineResult is the experiment outcome: both arm rows, the chaos
+// campaign row, and the headline verdicts (pipelined beats blocking,
+// partial-failure chains closed).
+type PipelineResult = bench.PipelineResult
+
+// RunPipeline runs the pipelined-execution experiment (the erabench
+// -exp pipeline experiment is a thin wrapper over this).
+func RunPipeline(cfg PipelineConfig) (PipelineResult, error) { return bench.RunPipeline(cfg) }
+
+// WritePipelineArtifact emits the experiment as the machine-readable
+// BENCH_pipeline.json artifact format.
+func WritePipelineArtifact(w io.Writer, res PipelineResult) error {
+	return bench.WritePipelineReport(w, res)
 }
 
 // ChaosConfig sizes the chaos-injection robustness audit: a gated store

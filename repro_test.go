@@ -161,6 +161,81 @@ func TestFacadeStore(t *testing.T) {
 	}
 }
 
+// TestFacadeExec exercises the scatter-gather surface: an executor over
+// a small store serving a multi-key insert, a MultiGet, and a range
+// scan; then the pipeline experiment at smoke scale with its artifact.
+func TestFacadeExec(t *testing.T) {
+	st, err := repro.NewStore(repro.StoreConfig{
+		Shards: repro.UniformShards(2, repro.StoreShardSpec{
+			Scheme: "ebr", Structure: "michael",
+		}),
+		KeyRange: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ex, err := repro.NewExecutor(st, repro.ExecConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := ex.MultiInsert([]int64{3, 40, 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := h.Wait(); res.Partial() {
+		t.Fatalf("healthy insert partial: %+v", res.ShardErrs)
+	}
+	h, err = ex.MultiGet([]int64{3, 40, 77, 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := h.Wait()
+	for i, want := range []bool{true, true, true, false} {
+		if res.Results[i].Err != nil || res.Results[i].OK != want {
+			t.Fatalf("get[%d]: %+v, want OK=%v", i, res.Results[i], want)
+		}
+	}
+	h, err = ex.RangeScan(0, 128, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keys := h.Wait().Keys; len(keys) != 3 {
+		t.Fatalf("range scan keys: %v", keys)
+	}
+	if stats := ex.Stats(); stats.Completed != 3 || stats.Partial != 0 {
+		t.Fatalf("exec stats: %+v", stats)
+	}
+	if err := ex.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.MultiGet([]int64{1}); err != repro.ErrExecClosed {
+		t.Fatalf("post-close submit: %v", err)
+	}
+
+	if testing.Short() {
+		t.Skip("pipeline experiment needs a real traffic window")
+	}
+	pres, err := repro.RunPipeline(repro.PipelineConfig{
+		Shards: 4, Duration: 200 * time.Millisecond,
+		ChaosDuration: 350 * time.Millisecond,
+		KeyRange:      1024, LegTimeout: 20 * time.Millisecond, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pres.Pipelined.Requests == 0 || !pres.PartialChainsClosed {
+		t.Fatalf("pipeline experiment: %+v", pres)
+	}
+	var sb strings.Builder
+	if err := repro.WritePipelineArtifact(&sb, pres); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"experiment": "pipeline"`) {
+		t.Errorf("artifact missing experiment tag")
+	}
+}
+
 // TestFacadeChaos exercises the chaos-audit surface: a tiny stall run on
 // two shards spanning the robustness extremes, its artifact, and the
 // fault enumeration.
