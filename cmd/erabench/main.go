@@ -38,7 +38,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: matrix|space|scale|stall|throughput|structures|michael|service|chaos|adaptive|traverse|obs|pipeline|all")
+	exp := flag.String("exp", "all", "experiment: matrix|space|scale|stall|throughput|structures|michael|service|chaos|adaptive|traverse|obs|pipeline|resil|all")
 	shards := flag.Int("shards", 4, "shard count for the service experiment")
 	duration := flag.Duration("duration", 800*time.Millisecond, "traffic window for the adaptive experiment")
 	adaptiveJSON := flag.String("adaptive-json", "BENCH_adaptive.json",
@@ -59,6 +59,10 @@ func main() {
 		"pipeline artifact path, written by the pipeline experiment (empty disables)")
 	pipelineShort := flag.Bool("pipeline-short", false,
 		"run EXP-PIPELINE at reduced scale (the CI smoke configuration)")
+	resilJSON := flag.String("resil-json", "BENCH_resil.json",
+		"resilience artifact path, written by the resil experiment (empty disables)")
+	resilShort := flag.Bool("resil-short", false,
+		"run EXP-RESIL at reduced scale (the CI smoke configuration)")
 	k := flag.Int("k", 800, "churn length for space/matrix experiments")
 	ops := flag.Int("ops", 20000, "operations per thread for throughput experiments")
 	keyRange := flag.Int("keyrange", 1024, "key universe for throughput experiments")
@@ -71,7 +75,7 @@ func main() {
 	jsonPath := flag.String("json", "", "write throughput rows as a JSON benchmark artifact to this path")
 	flag.Parse()
 
-	exps := []string{"matrix", "space", "scale", "stall", "throughput", "structures", "michael", "service", "chaos", "adaptive", "traverse", "obs", "pipeline", "all"}
+	exps := []string{"matrix", "space", "scale", "stall", "throughput", "structures", "michael", "service", "chaos", "adaptive", "traverse", "obs", "pipeline", "resil", "all"}
 	known := false
 	for _, e := range exps {
 		known = known || e == *exp
@@ -175,6 +179,17 @@ func main() {
 			os.Exit(2)
 		}
 		pipelineFile = f
+	}
+
+	// And for the resilience experiment's gate artifact.
+	var resilFile *os.File
+	if *resilJSON != "" && want("resil") {
+		f, err := os.Create(*resilJSON)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "erabench: %v\n", err)
+			os.Exit(2)
+		}
+		resilFile = f
 	}
 
 	// Throughput-shaped rows accumulate here for the -json artifact.
@@ -450,6 +465,37 @@ func main() {
 				fmt.Printf("wrote %s\n", *pipelineJSON)
 			}
 			return bench.CheckPipeline(res)
+		})
+	}
+	if want("resil") {
+		run("EXP-RESIL: typed retries, hedged legs, retry-budget amplification bound", func() error {
+			// The canned resilience drill: the naive executor vs the retry
+			// client under staggered stall + delayed-release pulses (paced
+			// open-loop offered load, so goodput is comparable), then the
+			// hedge A/B against a one-slow-worker park pulse.
+			cfg := bench.ResilConfig{Seed: *seed}
+			if *resilShort {
+				cfg.Duration = 500 * time.Millisecond
+				cfg.HedgeDuration = 300 * time.Millisecond
+				cfg.KeyRange = 2048
+			}
+			res, err := bench.RunResil(cfg)
+			if err != nil {
+				return err
+			}
+			bench.WriteResilTable(os.Stdout, res)
+			if resilFile != nil {
+				err := bench.WriteResilReport(resilFile, res)
+				if cerr := resilFile.Close(); err == nil {
+					err = cerr
+				}
+				resilFile = nil
+				if err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", *resilJSON)
+			}
+			return bench.CheckResil(res)
 		})
 	}
 	if want("michael") {

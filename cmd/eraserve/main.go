@@ -8,6 +8,7 @@
 //	eraserve -shards 4 -scheme ebr -adapt      # adaptive reclamation live
 //	eraserve -duration 10s -adapt -obs :8080   # live /metrics + /timeline + pprof
 //	eraserve -shards 4 -fanout 25              # 25% of fleet on cross-shard fan-out
+//	eraserve -fanout 25 -retry -hedge -breaker # resilient fan-out lane
 //
 // -scheme takes a comma-separated list cycled across shards, so
 // heterogeneous deployments (the ERA trade-off made per shard: robust HP
@@ -19,7 +20,11 @@
 // dedicates a share of the fleet to cross-shard multi-key and range
 // requests served by the pipelined scatter-gather executor
 // (internal/exec); their latency reports as separate p50/p99 rows
-// beside the point-op request percentiles. -obs
+// beside the point-op request percentiles. -retry, -hedge and -breaker
+// (each requiring -fanout) route that lane through the resilience
+// client (internal/resil) — typed-error-aware retries, p99-delay
+// hedged legs, and per-shard circuit breakers — whose counters land in
+// the service table and, with -obs, on /metrics as era_resil_*. -obs
 // serves the observability plane for the duration of the run: Prometheus
 // text on /metrics, the flight-recorder event stream on /timeline, and
 // live profiling under /debug/pprof/. The measurement is written as a
@@ -65,6 +70,14 @@ func main() {
 	fanout := flag.Int("fanout", 0,
 		"dedicate this percentage of the client fleet (min one goroutine) to cross-shard fan-out traffic through the pipelined executor (0 disables)")
 	fanoutKeys := flag.Int("fanout-keys", 8, "keys per multi-key fan-out request (with -fanout)")
+	retry := flag.Bool("retry", false,
+		"route the fan-out lane through the resilience client with typed-error retries (with -fanout)")
+	hedge := flag.Bool("hedge", false,
+		"hedge slow fan-out legs at the tracked p99 delay (with -fanout)")
+	breaker := flag.Bool("breaker", false,
+		"run per-shard circuit breakers over the fan-out lane (with -fanout)")
+	fanoutSLO := flag.Duration("fanout-slo", 0,
+		"per-shard p99 objective over the resilient fan-out lane's leg latencies; with -adapt, breaches feed the verdict plane's SLO dimension (needs -duration and one of -retry/-hedge/-breaker)")
 	obsAddr := flag.String("obs", "",
 		"serve the live observability plane (/metrics, /timeline, /debug/pprof/) on this address during the run, e.g. :8080")
 	jsonPath := flag.String("json", "BENCH_service.json", "service artifact path (empty disables)")
@@ -145,7 +158,17 @@ func main() {
 		Adapt:           adaptCfg,
 		FanoutPct:       *fanout,
 		FanoutKeys:      *fanoutKeys,
+		Retry:           *retry,
+		Hedge:           *hedge,
+		Breaker:         *breaker,
+		FanoutSLO:       *fanoutSLO,
 		ObsAddr:         *obsAddr,
+	}
+	if (*retry || *hedge || *breaker) && *fanout <= 0 {
+		fail(fmt.Errorf("-retry/-hedge/-breaker shape the fan-out lane; set -fanout > 0"))
+	}
+	if *fanoutSLO > 0 && (*duration <= 0 || !(*retry || *hedge || *breaker)) {
+		fail(fmt.Errorf("-fanout-slo needs -duration and a resilient lane (-retry/-hedge/-breaker)"))
 	}
 	if *obsAddr != "" {
 		fmt.Printf("eraserve: observability plane will serve on %s (/metrics, /timeline, /debug/pprof/)\n", *obsAddr)

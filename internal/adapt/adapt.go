@@ -58,6 +58,12 @@ type Config struct {
 	// deliberately much slower than escalation: a migration is a drain,
 	// and flapping costs more than a rung of robustness. 0 selects 40.
 	Calm int
+	// SLOCalm is the fast de-escalation threshold used instead of Calm
+	// while a robust shard's verdict carries a breached tail-latency SLO
+	// ("robust but slow"): the ladder's upper rungs buy robustness with
+	// latency, so a shard that is demonstrably over-protected *and* over
+	// its latency objective walks down sooner. 0 selects 8.
+	SLOCalm int
 	// Cooldown is how many decision ticks a freshly migrated shard is
 	// left alone while its new incarnation accumulates evidence; 0
 	// selects 4.
@@ -92,6 +98,9 @@ func (cfg *Config) fill() {
 	}
 	if cfg.Calm <= 0 {
 		cfg.Calm = 40
+	}
+	if cfg.SLOCalm <= 0 {
+		cfg.SLOCalm = 8
 	}
 	if cfg.Cooldown <= 0 {
 		cfg.Cooldown = 4
@@ -324,11 +333,18 @@ func (c *Controller) decideShard(s int, ss store.ShardStats) {
 	case audited == smr.Robust && cur > 0:
 		st.pressure = 0
 		st.calm++
-		if st.calm < c.cfg.Calm {
+		// "Robust but slow" — the SLO verdict dimension — de-escalates on
+		// the fast threshold: the shard provably doesn't need this rung's
+		// protection and is paying for it in tail latency.
+		need, reason := c.cfg.Calm, "audited robust"
+		if v.SLOBreached {
+			need, reason = c.cfg.SLOCalm, "audited robust but SLO-breached (robust but slow)"
+		}
+		if st.calm < need {
 			return
 		}
 		c.migrate(s, cur, cur-1, v,
-			fmt.Sprintf("de-escalate: audited robust for %d windows", st.calm))
+			fmt.Sprintf("de-escalate: %s for %d windows", reason, st.calm))
 	default:
 		// Tolerated middle ground (a weakly-robust plateau, or robust at
 		// the bottom rung): reset both streaks.

@@ -95,8 +95,13 @@ func WriteServiceTable(w io.Writer, res ServiceResult) {
 	if a.FanoutPct > 0 {
 		fmt.Fprintf(w, "fan-out:   %d clients (%d%% of fleet) via pipelined executor: %d requests, p50 %s p99 %s\n",
 			a.FanoutClients, a.FanoutPct, a.FanoutReqs, fmtLatency(a.FanoutP50), fmtLatency(a.FanoutP99))
-		if a.FanoutPartial > 0 || a.FanoutErrs > 0 {
-			fmt.Fprintf(w, "           fan-out partials %d, fan-out op-errors %d\n", a.FanoutPartial, a.FanoutErrs)
+		if a.FanoutPartial > 0 || a.FanoutErrs > 0 || a.FanoutSheds > 0 {
+			fmt.Fprintf(w, "           fan-out partials %d, fan-out op-errors %d, fan-out sheds %d\n",
+				a.FanoutPartial, a.FanoutErrs, a.FanoutSheds)
+		}
+		if a.FanoutRetries > 0 || a.FanoutHedges > 0 || a.FanoutRecovered > 0 {
+			fmt.Fprintf(w, "resil:     %d retries (%d requests recovered), %d hedges (%d races won)\n",
+				a.FanoutRetries, a.FanoutRecovered, a.FanoutHedges, a.FanoutHedgeWins)
 		}
 	}
 }
@@ -453,6 +458,75 @@ func ReadPipelineReport(r io.Reader) (PipelineReport, error) {
 		return PipelineReport{}, fmt.Errorf("bench: malformed pipeline artifact: %w", err)
 	}
 	return rep, nil
+}
+
+// WriteResilTable renders EXP-RESIL: the goodput A/B rows, the hedge
+// A/B rows, then the three acceptance headlines.
+func WriteResilTable(w io.Writer, res ResilResult) {
+	fmt.Fprintf(w, "%-10s %10s %10s %12s %12s %10s %10s\n",
+		"arm", "requests", "clean", "win-reqs", "win-clean", "p50", "p99")
+	for _, a := range []ResilArmRow{res.Naive, res.Resilient} {
+		fmt.Fprintf(w, "%-10s %10d %10d %12d %12d %10s %10s\n",
+			a.Arm, a.Requests, a.Clean, a.WindowRequests, a.WindowClean,
+			fmtLatency(a.P50), fmtLatency(a.P99))
+	}
+	r := res.Resilient
+	fmt.Fprintf(w, "retry:  %d retries, %d recovered, %d budget-exhausted, %d sheds, %d timeouts, amplification %.3fx\n",
+		r.Retries, r.Recovered, r.BudgetExhausted, r.Sheds, r.Timeouts, r.Amplification)
+	fmt.Fprintf(w, "%-10s %10s %8s %10s %10s %8s %8s %8s\n",
+		"arm", "requests", "pulses", "p50", "p99", "hedges", "wins", "waste")
+	for _, a := range []ResilHedgeRow{res.HedgeBase, res.Hedged} {
+		fmt.Fprintf(w, "%-10s %10d %8d %10s %10s %8d %8d %8d\n",
+			a.Arm, a.Requests, a.Pulses, fmtLatency(a.P50), fmtLatency(a.P99),
+			a.Hedges, a.HedgeWins, a.HedgeWaste)
+	}
+	fmt.Fprintf(w, "aggregate: %d shards, %d clients, mix %s\n", res.Shards, res.Clients, res.ReqMix)
+	fmt.Fprintf(w, "           goodput recovered: %v (%.2fx in fault windows); hedge bounds tail: %v (%.2fx p99); amplification bounded: %v\n",
+		res.GoodputRecovered, res.GoodputX, res.HedgeBoundsTail, res.HedgeP99X, res.AmplificationBounded)
+}
+
+// ResilReport is the machine-readable EXP-RESIL artifact (the
+// BENCH_resil.json file), under the same experiment convention as
+// Report.
+type ResilReport struct {
+	Experiment string `json:"experiment"`
+	ResilResult
+}
+
+// WriteResilReport emits the resilience experiment as an indented JSON
+// benchmark artifact.
+func WriteResilReport(w io.Writer, res ResilResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ResilReport{Experiment: "resil", ResilResult: res})
+}
+
+// ReadResilReport parses an artifact written by WriteResilReport.
+func ReadResilReport(r io.Reader) (ResilReport, error) {
+	var rep ResilReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return ResilReport{}, fmt.Errorf("bench: malformed resil artifact: %w", err)
+	}
+	return rep, nil
+}
+
+// CheckResil applies EXP-RESIL's acceptance criteria: typed retries
+// recover fault-window goodput (≥1.5× the naive arm), hedging bounds
+// the fan-out p99 under a one-slow-worker fault, and the retry budget
+// keeps load amplification under 1.3× offered.
+func CheckResil(res ResilResult) error {
+	if !res.GoodputRecovered {
+		return fmt.Errorf("bench: resilient fault-window goodput %d vs naive %d (%.2fx < 1.5x)",
+			res.Resilient.WindowClean, res.Naive.WindowClean, res.GoodputX)
+	}
+	if !res.HedgeBoundsTail {
+		return fmt.Errorf("bench: hedging did not bound the tail: p99 %s vs %s (%.2fx), %d hedges %d wins",
+			res.Hedged.P99, res.HedgeBase.P99, res.HedgeP99X, res.Hedged.Hedges, res.Hedged.HedgeWins)
+	}
+	if !res.AmplificationBounded {
+		return fmt.Errorf("bench: retry amplification %.3fx outside (0, 1.3]", res.Resilient.Amplification)
+	}
+	return nil
 }
 
 // CheckPipeline applies EXP-PIPELINE's acceptance criteria: the

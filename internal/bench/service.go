@@ -11,6 +11,7 @@ import (
 	"repro/internal/hist"
 	"repro/internal/obs"
 	"repro/internal/obs/rec"
+	"repro/internal/resil"
 	"repro/internal/smr/all"
 	"repro/internal/store"
 	"repro/internal/telemetry"
@@ -77,6 +78,21 @@ type ServiceConfig struct {
 	// FanoutKeys is the key count per multi-key fan-out request; 0
 	// selects 8.
 	FanoutKeys int
+	// Retry, Hedge and Breaker route the fan-out lane through the
+	// resilience client (internal/resil) instead of the bare executor:
+	// typed-error-aware retries, p99-delay hedged legs, and per-shard
+	// circuit breakers respectively. Any of the three switches the lane;
+	// all require FanoutPct > 0.
+	Retry   bool
+	Hedge   bool
+	Breaker bool
+	// FanoutSLO, when positive with a resilient fan-out lane, runs a
+	// per-shard tail-latency objective over the lane's settled leg
+	// latencies. Breach/clear transitions land on the flight recorder,
+	// and — in adaptive runs — are promoted into the telemetry verdict's
+	// SLO dimension, so the controller can tell "robust but slow" from
+	// "not robust".
+	FanoutSLO time.Duration
 	// ObsAddr, when non-empty, serves the live observability plane
 	// (/metrics, /timeline, /debug/pprof/) on this address for the
 	// duration of the run: the store's shards stamp the flight recorder,
@@ -185,6 +201,17 @@ type ServiceRow struct {
 	FanoutP99     time.Duration `json:"fanout_p99_ns,omitempty"`
 	FanoutPartial uint64        `json:"fanout_partial,omitempty"`
 	FanoutErrs    uint64        `json:"fanout_errs,omitempty"`
+	// FanoutSheds counts legs the lane saw rejected under saturation
+	// (exec.ErrShed anywhere in a result's error chain). The resilience
+	// counters below are live only when the lane runs through the resil
+	// client (Retry/Hedge/Breaker): retries re-submitted, requests
+	// recovered clean by a retry, hedges launched, and hedge races won
+	// by the duplicate.
+	FanoutSheds     uint64 `json:"fanout_sheds,omitempty"`
+	FanoutRetries   uint64 `json:"fanout_retries,omitempty"`
+	FanoutRecovered uint64 `json:"fanout_recovered,omitempty"`
+	FanoutHedges    uint64 `json:"fanout_hedges,omitempty"`
+	FanoutHedgeWins uint64 `json:"fanout_hedge_wins,omitempty"`
 }
 
 // ServiceResult pairs the aggregate row with the per-shard breakdown.
@@ -247,26 +274,45 @@ func runClients(st *store.Store, src *workload.Source, cfg ServiceConfig, ops in
 	return nil
 }
 
+// fanoutDoer abstracts the fan-out lane's submission path: the bare
+// pipelined executor, or the resilience client wrapped around it when
+// any of the Retry/Hedge/Breaker policies is on.
+type fanoutDoer interface {
+	Do(req workload.Req) (*exec.Result, error)
+}
+
+// execDoer adapts the raw executor to the blocking doer shape.
+type execDoer struct{ ex *exec.Executor }
+
+func (d execDoer) Do(req workload.Req) (*exec.Result, error) {
+	h, err := d.ex.Submit(req)
+	if err != nil {
+		return nil, err
+	}
+	return h.Wait(), nil
+}
+
 // fanoutOutcome is the fan-out lane's measurement: requests completed,
-// partial completions, tolerated per-key errors, and the lane's own
-// latency histogram.
+// partial completions, tolerated per-key errors and sheds, and the
+// lane's own latency histogram.
 type fanoutOutcome struct {
 	clients int
 	reqs    uint64
 	partial uint64
 	errs    uint64
+	sheds   uint64
 	lat     hist.Latency
 	err     error
 }
 
 // runFanoutLane drives the dedicated fan-out clients through the
-// executor until stop closes. The point-op fleet runs concurrently on
+// doer until stop closes. The point-op fleet runs concurrently on
 // the same store, so the lane's tail includes cross-traffic queueing —
 // which is what a service's fan-out tail means. Per-key errors and
 // partial completions are absorbed and counted, never fatal: the lane
 // measures the executor's service shape, and a shard mid-migration
 // answering ErrShardClosed is service behaviour.
-func runFanoutLane(ex *exec.Executor, cfg ServiceConfig, stop <-chan struct{}) fanoutOutcome {
+func runFanoutLane(do fanoutDoer, cfg ServiceConfig, stop <-chan struct{}) fanoutOutcome {
 	n := cfg.Clients * cfg.FanoutPct / 100
 	if n < 1 {
 		n = 1
@@ -296,7 +342,7 @@ func runFanoutLane(ex *exec.Executor, cfg ServiceConfig, stop <-chan struct{}) f
 				default:
 				}
 				t0 := time.Now()
-				h, err := ex.Submit(stream.Next())
+				res, err := do.Do(stream.Next())
 				if err != nil {
 					// ErrClosed races the stop signal at shutdown; anything
 					// else (a shed on a healthy store) still only costs the
@@ -304,14 +350,21 @@ func runFanoutLane(ex *exec.Executor, cfg ServiceConfig, stop <-chan struct{}) f
 					if errors.Is(err, exec.ErrClosed) {
 						return
 					}
+					if errors.Is(err, exec.ErrShed) {
+						o.sheds++
+					}
 					o.errs++
 					continue
 				}
-				res := h.Wait()
 				o.lat.Record(time.Since(t0))
 				o.reqs++
 				if res.Partial() {
 					o.partial++
+				}
+				for _, serr := range res.ShardErrs {
+					if errors.Is(serr.Reason, exec.ErrShed) {
+						o.sheds++
+					}
 				}
 				for _, r := range res.Results {
 					if r.Err != nil {
@@ -327,6 +380,7 @@ func runFanoutLane(ex *exec.Executor, cfg ServiceConfig, stop <-chan struct{}) f
 		total.reqs += outs[i].reqs
 		total.partial += outs[i].partial
 		total.errs += outs[i].errs
+		total.sheds += outs[i].sheds
 		total.lat.Merge(&outs[i].lat)
 	}
 	return total
@@ -379,23 +433,19 @@ func storeProbe(st *store.Store) telemetry.Probe {
 	}
 }
 
-// attachAdapt wires the adaptive-reclamation loop onto a serving store:
-// a gauge-tap sampler feeding the online classifier, and the controller
-// deciding on it. The monitor's domain i is shard i; budgets come from
-// the resolved shard specs. clock and recorder are optional (the
-// observability plane's shared run clock and flight recorder — when
-// given, all three loops stamp the same tape). Returns the started
-// sampler, the monitor, and the controller.
-func attachAdapt(st *store.Store, acfg adapt.Config, interval time.Duration, clock *rec.Clock, recorder *rec.Recorder) (*telemetry.Sampler, *telemetry.Monitor, *adapt.Controller, error) {
+// adaptMonitor builds the verdict monitor over the store's resolved
+// shard specs: domain i is shard i, with the shard's declared robustness
+// class and worker/threshold budget.
+func adaptMonitor(st *store.Store, recorder *rec.Recorder) (*telemetry.Monitor, error) {
 	domains := make([]telemetry.Domain, st.Shards())
 	for s := range domains {
 		spec, err := st.Spec(s)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, err
 		}
 		props, err := all.Props(spec.Scheme)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, err
 		}
 		domains[s] = telemetry.Domain{
 			Scheme:   spec.Scheme,
@@ -407,20 +457,31 @@ func attachAdapt(st *store.Store, acfg adapt.Config, interval time.Duration, clo
 	if recorder != nil {
 		mcfg.OnFlip = obs.VerdictHook(recorder)
 	}
-	mon := telemetry.NewMonitor(mcfg, domains)
+	return telemetry.NewMonitor(mcfg, domains), nil
+}
+
+// attachAdapt wires the adaptive-reclamation loop onto a serving store:
+// a sampler driving probe into the monitor's online classifier, and the
+// controller deciding on it. The monitor is built separately
+// (adaptMonitor) so a resilience client can sit between — its breaker
+// feeds on the monitor's verdicts while the sampler's probe carries its
+// counters. clock and recorder are optional (the observability plane's
+// shared run clock and flight recorder — when given, all three loops
+// stamp the same tape). Returns the started sampler and controller.
+func attachAdapt(st *store.Store, acfg adapt.Config, interval time.Duration, mon *telemetry.Monitor, probe telemetry.Probe, clock *rec.Clock, recorder *rec.Recorder) (*telemetry.Sampler, *adapt.Controller, error) {
 	sampler := telemetry.NewSampler(
 		telemetry.Config{Interval: interval, Capacity: 4096, OnSample: mon.Observe,
 			Clock: clock, Recorder: recorder},
-		storeProbe(st))
+		probe)
 	acfg.Clock = clock
 	acfg.Recorder = recorder
 	ctl, err := adapt.New(acfg, st, mon)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, err
 	}
 	sampler.Start()
 	ctl.Start()
-	return sampler, mon, ctl, nil
+	return sampler, ctl, nil
 }
 
 // sampleEvery derives a telemetry tick from a traffic window: ~200
@@ -505,12 +566,20 @@ func RunService(cfg ServiceConfig) (ServiceResult, error) {
 	// the clock, stopped right after, so its histogram covers the same
 	// window as the point-op percentiles it sits beside in the table.
 	var (
-		fanEx   *exec.Executor
-		fanStop chan struct{}
-		fanDone chan fanoutOutcome
-		fanOut  fanoutOutcome
+		fanEx    *exec.Executor
+		fanResil *resil.Client
+		fanSLO   *obs.SLOSet
+		fanDo    fanoutDoer
+		fanStop  chan struct{}
+		fanDone  chan fanoutOutcome
+		fanOut   fanoutOutcome
 	)
-	startFanout := func() error {
+	// buildFanout constructs the lane's submission path before the
+	// observability plane binds, so a resilience client's counters and
+	// breakers are on /metrics from the first scrape. mon may be nil
+	// (non-adaptive runs): the breaker then trips on its failure EWMA
+	// alone, without the verdict feed.
+	buildFanout := func(mon *telemetry.Monitor) error {
 		if cfg.FanoutPct <= 0 {
 			return nil
 		}
@@ -518,24 +587,59 @@ func RunService(cfg ServiceConfig) (ServiceResult, error) {
 		// healthy, so there is no fault to bound and no reason to tax
 		// every leg with a watchdog (the chaos campaigns pay for the
 		// budget where it earns its keep).
+		ecfg := exec.Config{LegTimeout: -1, Clock: clock, Recorder: recorder}
 		var err error
-		fanEx, err = exec.New(st, exec.Config{LegTimeout: -1, Clock: clock, Recorder: recorder})
-		if err != nil {
+		if cfg.Retry || cfg.Hedge || cfg.Breaker {
+			rcfg := resil.Config{
+				Hedge:    cfg.Hedge,
+				Breaker:  cfg.Breaker,
+				Verdicts: mon,
+				Seed:     cfg.Seed ^ 0x5e111e5,
+				Clock:    clock,
+				Recorder: recorder,
+			}
+			if !cfg.Retry {
+				rcfg.MaxAttempts = 1
+				rcfg.RetryBudget = -1
+			}
+			if fanSLO != nil {
+				rcfg.OnLegLatency = fanSLO.Observe
+			}
+			if fanResil, err = resil.New(st, ecfg, rcfg); err != nil {
+				return err
+			}
+			fanDo = fanResil
+			return nil
+		}
+		if fanEx, err = exec.New(st, ecfg); err != nil {
 			return err
+		}
+		fanDo = execDoer{fanEx}
+		return nil
+	}
+	startFanout := func() {
+		if fanDo == nil {
+			return
 		}
 		fanStop = make(chan struct{})
 		fanDone = make(chan fanoutOutcome, 1)
-		go func() { fanDone <- runFanoutLane(fanEx, cfg, fanStop) }()
-		return nil
+		go func() { fanDone <- runFanoutLane(fanDo, cfg, fanStop) }()
 	}
 	stopFanout := func() error {
-		if fanEx == nil {
+		if fanDo == nil {
 			return nil
 		}
-		close(fanStop)
-		fanOut = <-fanDone
-		err := fanEx.Close()
-		fanEx = nil
+		if fanStop != nil {
+			close(fanStop)
+			fanOut = <-fanDone
+		}
+		var err error
+		if fanResil != nil {
+			err = fanResil.Close()
+		} else {
+			err = fanEx.Close()
+		}
+		fanDo = nil
 		if fanOut.err != nil {
 			return fanOut.err
 		}
@@ -550,17 +654,41 @@ func RunService(cfg ServiceConfig) (ServiceResult, error) {
 		var sampler *telemetry.Sampler
 		var mon *telemetry.Monitor
 		if cfg.Adapt != nil {
-			sampler, mon, ctl, err = attachAdapt(st, *cfg.Adapt, sampleEvery(cfg.Duration), clock, recorder)
+			if mon, err = adaptMonitor(st, recorder); err != nil {
+				return ServiceResult{}, err
+			}
+		}
+		// The per-shard SLO objective rides the resilient lane's settled
+		// leg latencies; with a monitor live, its transitions flip the
+		// verdict plane's SLO dimension ("robust but slow").
+		if cfg.FanoutSLO > 0 && cfg.FanoutPct > 0 && (cfg.Retry || cfg.Hedge || cfg.Breaker) {
+			var hook func(shard int, breached bool)
+			if mon != nil {
+				hook = mon.SetSLO
+			}
+			fanSLO = obs.NewSLOSet(cfg.Shards, cfg.FanoutSLO, 0, clock, recorder, hook)
+		}
+		if err := buildFanout(mon); err != nil {
+			return ServiceResult{}, err
+		}
+		if cfg.Adapt != nil {
+			// The sampler's probe carries the lane's resilience counters
+			// beside the store gauges, so the timeline join sees retries,
+			// hedges and breaker positions as first-class points.
+			probe := storeProbe(st)
+			if fanResil != nil {
+				probe = fanResil.AugmentProbe(probe)
+			}
+			sampler, ctl, err = attachAdapt(st, *cfg.Adapt, sampleEvery(cfg.Duration), mon, probe, clock, recorder)
 			if err != nil {
 				return ServiceResult{}, err
 			}
 		}
-		if err := serveObs(&obs.Registry{Store: st, Sampler: sampler, Monitor: mon, Recorder: recorder}); err != nil {
+		if err := serveObs(&obs.Registry{Store: st, Sampler: sampler, Monitor: mon, Recorder: recorder, Resil: fanResil}); err != nil {
 			return ServiceResult{}, err
 		}
-		if err := startFanout(); err != nil {
-			return ServiceResult{}, err
-		}
+		fanSLO.Start(sampleEvery(cfg.Duration))
+		startFanout()
 		before = st.Stats()
 		start := time.Now()
 		ops, opErrs, lat, err = runTimedClients(st, src, cfg.Clients, cfg.Batch, start.Add(cfg.Duration), nil)
@@ -568,6 +696,7 @@ func RunService(cfg ServiceConfig) (ServiceResult, error) {
 		if serr := stopFanout(); err == nil {
 			err = serr
 		}
+		fanSLO.Stop()
 		if ctl != nil {
 			ctl.Stop()
 			sampler.Stop()
@@ -576,7 +705,10 @@ func RunService(cfg ServiceConfig) (ServiceResult, error) {
 			return ServiceResult{}, err
 		}
 	} else {
-		if err := serveObs(&obs.Registry{Store: st, Recorder: recorder}); err != nil {
+		if err := buildFanout(nil); err != nil {
+			return ServiceResult{}, err
+		}
+		if err := serveObs(&obs.Registry{Store: st, Recorder: recorder, Resil: fanResil}); err != nil {
 			return ServiceResult{}, err
 		}
 		warmup := cfg.WarmupOpsPerClient
@@ -591,9 +723,7 @@ func RunService(cfg ServiceConfig) (ServiceResult, error) {
 				return ServiceResult{}, err
 			}
 		}
-		if err := startFanout(); err != nil {
-			return ServiceResult{}, err
-		}
+		startFanout()
 		before = st.Stats()
 		lats := make([]hist.Latency, cfg.Clients)
 		start := time.Now()
@@ -651,6 +781,14 @@ func RunService(cfg ServiceConfig) (ServiceResult, error) {
 		agg.FanoutP99 = fanOut.lat.Percentile(0.99)
 		agg.FanoutPartial = fanOut.partial
 		agg.FanoutErrs = fanOut.errs
+		agg.FanoutSheds = fanOut.sheds
+		if fanResil != nil {
+			rs := fanResil.Stats()
+			agg.FanoutRetries = rs.Retries
+			agg.FanoutRecovered = rs.Recovered
+			agg.FanoutHedges = rs.Hedges
+			agg.FanoutHedgeWins = rs.HedgeWins
+		}
 	}
 	rows := make([]ServiceShardRow, cfg.Shards)
 	for i, sh := range after.Shards {

@@ -42,6 +42,12 @@ type Stats struct {
 	Sheds    uint64
 	Timeouts uint64
 	LegErrs  uint64
+	// Hedges, HedgeWins and HedgeWaste aggregate the hedging ledgers;
+	// HedgeUnits weighs the hedges by operation count (1 per range leg).
+	Hedges     uint64
+	HedgeWins  uint64
+	HedgeWaste uint64
+	HedgeUnits uint64
 	// Shards holds one entry per store shard.
 	Shards []ShardExecStats
 }
@@ -63,6 +69,15 @@ type ShardExecStats struct {
 	Sheds    uint64
 	Timeouts uint64
 	LegErrs  uint64
+	// Hedges counts speculative calls launched by the hedge policy;
+	// HedgeWins hedge calls that won their leg's completion latch;
+	// HedgeWaste completions discarded because the leg's other call won —
+	// the wasted-work ledger. HedgeUnits weighs the hedges by operation
+	// count (1 per range leg).
+	Hedges     uint64
+	HedgeWins  uint64
+	HedgeWaste uint64
+	HedgeUnits uint64
 }
 
 // Stats snapshots the executor's accounting. Safe to call concurrently
@@ -80,20 +95,28 @@ func (ex *Executor) Stats() Stats {
 	st.Partial = ex.partial.Load()
 	for s, q := range ex.queues {
 		sh := ShardExecStats{
-			Shard:    s,
-			Queued:   len(q.legs),
-			QueueCap: cap(q.legs),
-			Degraded: q.degraded.Load() || ex.saturated(q),
-			Stalled:  int(q.stalled.Load()),
-			Legs:     q.legsTotal.Load(),
-			Sheds:    q.sheds.Load(),
-			Timeouts: q.timeouts.Load(),
-			LegErrs:  q.legErrs.Load(),
+			Shard:      s,
+			Queued:     len(q.legs),
+			QueueCap:   cap(q.legs),
+			Degraded:   q.degraded.Load() || ex.saturated(q),
+			Stalled:    int(q.stalled.Load()),
+			Legs:       q.legsTotal.Load(),
+			Sheds:      q.sheds.Load(),
+			Timeouts:   q.timeouts.Load(),
+			LegErrs:    q.legErrs.Load(),
+			Hedges:     q.hedges.Load(),
+			HedgeWins:  q.hedgeWins.Load(),
+			HedgeWaste: q.hedgeWaste.Load(),
+			HedgeUnits: q.hedgeUnits.Load(),
 		}
 		st.Legs += sh.Legs
 		st.Sheds += sh.Sheds
 		st.Timeouts += sh.Timeouts
 		st.LegErrs += sh.LegErrs
+		st.Hedges += sh.Hedges
+		st.HedgeWins += sh.HedgeWins
+		st.HedgeWaste += sh.HedgeWaste
+		st.HedgeUnits += sh.HedgeUnits
 		st.Shards = append(st.Shards, sh)
 	}
 	return st

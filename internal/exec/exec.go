@@ -87,6 +87,21 @@ type Admission interface {
 	Degraded(shard int) bool
 }
 
+// HedgePolicy is the executor's tail-latency speculation signal,
+// supplied by the resilience layer. Delay(s) returns how long shard s's
+// scatter leg may run before one hedge call is launched against the same
+// shard (<= 0 disables hedging for that leg — the cold-start state while
+// the policy's quantile tracker has no data). Observe feeds back the
+// latency of each call that settles its leg — hedge-race losers and
+// failed calls are excluded, so a fault latency that hedging masked
+// cannot poison the tracked quantile and chase the delay upward.
+// Implementations must be cheap and safe for concurrent use; both
+// methods are called on hot paths.
+type HedgePolicy interface {
+	Delay(shard int) time.Duration
+	Observe(shard int, d time.Duration)
+}
+
 // Config assembles an Executor.
 type Config struct {
 	// QueueDepth is the per-shard scatter-leg queue capacity; 0 selects 64.
@@ -117,6 +132,14 @@ type Config struct {
 	Admission Admission
 	// AdmitEvery is the admission poll interval; 0 selects 1ms.
 	AdmitEvery time.Duration
+	// Hedge, when non-nil, enables hedged legs: a scatter leg still
+	// running past the policy's delay launches one speculative duplicate
+	// call against the same shard; the first completion wins the leg's
+	// latch and the loser is discarded through the late-call discard
+	// path, counted as wasted work. Hedges are refused while the shard is
+	// degraded or saturated — speculation must never amplify a struggling
+	// shard's load.
+	Hedge HedgePolicy
 	// Clock and Recorder, when set, stamp scatter/merge/shed events onto
 	// the observability plane's shared tape. Nil keeps the layer silent.
 	Clock    *rec.Clock
@@ -200,6 +223,33 @@ const (
 	legStalled
 )
 
+// callState is one store call's landing latch. A leg may have up to two
+// calls in flight (primary + hedge); the per-call latch keeps the
+// shard's stalled gauge exact — each call is counted overdue at most
+// once, and decremented exactly when that same call finally lands.
+const (
+	callRunning int32 = iota
+	callLanded        // finish ran for this call
+	callCounted       // the completion budget counted this call into the stalled gauge
+)
+
+// call is one store call issued for a leg: the primary hand-off or its
+// hedge. Each call owns a private result buffer, so two calls racing on
+// the same leg can never scribble on each other's (or the caller's)
+// results; only the call that wins the leg's completion latch applies
+// its payload to the handle.
+type call struct {
+	l     *leg
+	hedge bool
+	state atomic.Int32
+	// out is a point/multi call's private result buffer; nil on the
+	// direct-write path (no budget, no hedging), where the worker fills
+	// the handle's slice in place.
+	out []store.Result
+	// start stamps the hand-off for the hedge policy's latency feed.
+	start time.Time
+}
+
 // leg is one scatter leg in flight.
 type leg struct {
 	h     *Handle
@@ -215,14 +265,15 @@ type leg struct {
 	lo, hi    int64
 	limit     int
 	countOnly bool
-	// out is a point/multi leg's private result buffer: the worker fills
-	// it, and finish copies it into the handle only after winning the
-	// completion latch — a call that outlived its budget can never
-	// scribble on a result the caller is already reading.
-	out []store.Result
+	// calls are the leg's store calls: slot 0 the primary, slot 1 the
+	// hedge (if one launched). Published after store acceptance; the
+	// budget's overdue sweep walks them.
+	calls [2]atomic.Pointer[call]
 	// timer is the leg's armed completion budget, published after the
 	// store accepted the hand-off so finish can disarm it.
 	timer atomic.Pointer[time.Timer]
+	// hedgeTimer is the armed hedge delay (only with a HedgePolicy).
+	hedgeTimer atomic.Pointer[time.Timer]
 }
 
 // Handle is a submitted request's completion handle. Wait (or Done) and
@@ -276,6 +327,16 @@ type shardQueue struct {
 	sheds     atomic.Uint64
 	timeouts  atomic.Uint64
 	legErrs   atomic.Uint64
+
+	// Hedging accounting: hedge calls launched, hedge calls that won
+	// their leg's latch, and discarded completions of hedged legs (every
+	// hedged leg that completes lands exactly one wasted call).
+	// hedgeUnits weighs the hedges by operation count (1 per range leg)
+	// for the resilience layer's load-amplification ledger.
+	hedges     atomic.Uint64
+	hedgeWins  atomic.Uint64
+	hedgeWaste atomic.Uint64
+	hedgeUnits atomic.Uint64
 }
 
 // Executor is the scatter-gather execution layer over one store. All
@@ -685,83 +746,158 @@ func (ex *Executor) pump(q *shardQueue, l *leg) {
 	}
 }
 
-// launch offers one leg to the store without blocking. On acceptance it
-// arms the completion budget and returns true; the shard worker that
-// completes the leg calls finish from the store's done callback. A
-// refusal (false, nil) left the leg untouched and may be retried.
-func (ex *Executor) launch(q *shardQueue, l *leg) (bool, error) {
-	var ok bool
-	var err error
+// submitCall offers one call to the store without blocking. On
+// acceptance, the call's payload routes back through finish on the shard
+// worker's done callback.
+func (ex *Executor) submitCall(q *shardQueue, c *call) (bool, error) {
+	l := c.l
+	c.start = time.Now()
 	if l.scan {
-		ok, err = ex.st.ScanShardAsync(l.shard, l.lo, l.hi, l.limit, l.countOnly,
+		return ex.st.ScanShardAsync(l.shard, l.lo, l.hi, l.limit, l.countOnly,
 			func(keys []int64, count uint64, scanErr error) {
-				ex.finish(q, l, legOut{keys: keys, count: count, err: scanErr})
+				ex.finish(q, c, legOut{keys: keys, count: count, err: scanErr})
 			})
-	} else if ex.cfg.LegTimeout < 0 {
-		// No budget: a leg can only complete through the worker, so the
-		// worker may write results straight into the handle at their final
-		// positions — no private buffer, no copy.
-		ok, err = ex.st.DoShardAsync(l.shard, l.ops, l.h.res.Results, l.idx,
-			func() { ex.finish(q, l, legOut{}) })
-	} else {
-		l.out = make([]store.Result, len(l.ops))
-		ok, err = ex.st.DoShardAsync(l.shard, l.ops, l.out, nil,
-			func() { ex.finish(q, l, legOut{res: l.out}) })
 	}
+	if c.out == nil {
+		// Direct-write path (no budget, no hedging): a leg has exactly one
+		// call and it can only complete through the worker, so the worker
+		// may write results straight into the handle at their final
+		// positions — no private buffer, no copy.
+		return ex.st.DoShardAsync(l.shard, l.ops, l.h.res.Results, l.idx,
+			func() { ex.finish(q, c, legOut{}) })
+	}
+	return ex.st.DoShardAsync(l.shard, l.ops, c.out, nil,
+		func() { ex.finish(q, c, legOut{res: c.out}) })
+}
+
+// launch offers one leg's primary call to the store without blocking.
+// On acceptance it arms the completion budget (and the hedge delay) and
+// returns true; the shard worker that completes the call routes through
+// finish. A refusal (false, nil) left the leg untouched and may be
+// retried.
+func (ex *Executor) launch(q *shardQueue, l *leg) (bool, error) {
+	c := &call{l: l}
+	if !l.scan && (ex.cfg.LegTimeout >= 0 || ex.cfg.Hedge != nil) {
+		// A leg that can settle away from its call (budget) or carry two
+		// calls (hedge) needs a private buffer per call: the worker fills
+		// it, and finish copies it into the handle only after winning the
+		// completion latch — a losing call can never scribble on a result
+		// the caller is already reading.
+		c.out = make([]store.Result, len(l.ops))
+	}
+	ok, err := ex.submitCall(q, c)
 	if !ok || err != nil {
 		return false, err
 	}
+	l.calls[0].Store(c)
 	if ex.cfg.LegTimeout >= 0 {
 		// Armed only after acceptance, so the budget can never tick for a
 		// leg the store refused. A worker so fast that finish already ran
 		// leaves a timer firing into a settled latch — a counted no-op.
 		l.timer.Store(time.AfterFunc(ex.cfg.LegTimeout, func() { ex.overdue(q, l) }))
 	}
+	if hp := ex.cfg.Hedge; hp != nil {
+		if d := hp.Delay(l.shard); d > 0 {
+			l.hedgeTimer.Store(time.AfterFunc(d, func() { ex.hedge(q, l, d) }))
+		}
+	}
 	return true, nil
 }
 
-// overdue is the completion budget firing: the leg completes with a
-// typed stall while its store call keeps running — the stalled gauge,
-// not a blocked goroutine, tracks the pile until the call finally lands
-// in finish.
-func (ex *Executor) overdue(q *shardQueue, l *leg) {
-	q.stalled.Add(1)
-	if l.fail(&ShardError{Shard: l.shard, Reason: ErrLegStalled}) {
-		q.timeouts.Add(1)
+// hedge is the hedge delay firing: the leg's primary call has outlived
+// the policy's quantile, so one speculative duplicate is offered to the
+// same shard. The offer is best-effort and strictly bounded — refused
+// without retry when the leg already settled, the shard is degraded or
+// saturated, or the shard's request queue is full — because speculation
+// against a shard that is struggling (rather than merely unlucky) would
+// amplify exactly the load admission control exists to shed.
+func (ex *Executor) hedge(q *shardQueue, l *leg, delay time.Duration) {
+	if l.state.Load() != legPending || q.degraded.Load() || ex.saturated(q) {
 		return
 	}
-	q.stalled.Add(-1) // the call completed inside the race window
+	c := &call{l: l, hedge: true}
+	if !l.scan {
+		c.out = make([]store.Result, len(l.ops))
+	}
+	ok, err := ex.submitCall(q, c)
+	if !ok || err != nil {
+		return // no room for speculative work
+	}
+	l.calls[1].Store(c)
+	q.hedges.Add(1)
+	units := uint64(len(l.ops))
+	if units == 0 {
+		units = 1 // a range leg weighs one unit
+	}
+	q.hedgeUnits.Add(units)
+	ex.cfg.Recorder.Record(rec.KindHedge, l.shard, 0, uint64(len(l.ops)), uint64(delay), l.kind.String())
 }
 
-// finish completes a leg whose store call returned: wholesale errors
-// become the typed per-shard failure; successful legs apply their
-// payload to the handle — but only after winning the completion latch,
-// so a call that outlived its budget can never touch a handle whose
-// merge stage (and caller) have already moved on. finish runs on the
-// shard worker that completed the leg.
-func (ex *Executor) finish(q *shardQueue, l *leg, o legOut) {
+// overdue is the completion budget firing: the leg completes with a
+// typed stall while its store calls keep running — the stalled gauge,
+// not a blocked goroutine, tracks the pile until each call finally lands
+// in finish. Calls still running are counted individually through their
+// landing latch, so a call completing inside the race window is never
+// double-counted.
+func (ex *Executor) overdue(q *shardQueue, l *leg) {
+	if l.fail(&ShardError{Shard: l.shard, Reason: ErrLegStalled}) {
+		q.timeouts.Add(1)
+	}
+	for i := range l.calls {
+		if c := l.calls[i].Load(); c != nil && c.state.CompareAndSwap(callRunning, callCounted) {
+			q.stalled.Add(1)
+		}
+	}
+}
+
+// finish completes a call whose store hand-off returned: wholesale
+// errors become the typed per-shard failure; a successful call applies
+// its payload to the handle — but only after winning the leg's
+// completion latch, so a call that lost (to the budget, or to the leg's
+// other call) can never touch a handle whose merge stage (and caller)
+// have already moved on. That losing path is the late-call discard:
+// hedge losers are counted as wasted work there. finish runs on the
+// shard worker that completed the call.
+func (ex *Executor) finish(q *shardQueue, c *call, o legOut) {
+	l := c.l
+	if !c.state.CompareAndSwap(callRunning, callLanded) {
+		// The budget counted this call into the stalled gauge; it has
+		// landed now, so the shard's overdue pile drops.
+		q.stalled.Add(-1)
+	}
 	if t := l.timer.Load(); t != nil {
+		t.Stop()
+	}
+	if t := l.hedgeTimer.Load(); t != nil {
 		t.Stop()
 	}
 	if o.err != nil {
 		if l.fail(&ShardError{Shard: l.shard, Reason: o.err}) {
 			q.legErrs.Add(1)
-		} else {
-			// The budget beat the error home; the call is done now, so
-			// the shard's overdue gauge drops.
-			q.stalled.Add(-1)
 		}
 		return
 	}
 	if !l.state.CompareAndSwap(legPending, legDone) {
-		// The budget beat the result home: the handle moved on, the
-		// payload is discarded, and the call is no longer outstanding.
-		q.stalled.Add(-1)
+		if l.state.Load() == legDone {
+			// The leg's other call won the latch: this completion is the
+			// hedge loser, discarded.
+			q.hedgeWaste.Add(1)
+		}
 		return
+	}
+	if hp := ex.cfg.Hedge; hp != nil {
+		// Only the call that settles the leg feeds the hedge policy: a
+		// discarded loser's latency never reached the caller, and letting
+		// it in would drag the tracked quantile up to the very fault
+		// latency hedging exists to mask.
+		hp.Observe(l.shard, time.Since(c.start))
+	}
+	if c.hedge {
+		q.hedgeWins.Add(1)
 	}
 	if l.scan {
 		l.h.mergeScan(o.keys, o.count)
-	} else {
+	} else if c.out != nil {
 		for i, r := range o.res {
 			l.h.res.Results[l.idx[i]] = r
 		}

@@ -2,6 +2,7 @@ package exec_test
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -405,7 +406,7 @@ func TestShedAndQueueAccounting(t *testing.T) {
 		t.Fatal("SetDegraded did not stick")
 	}
 	for i := 3; i < 5; i++ {
-		res := w.wait(ex.MultiGet(keys[i:i+1])) // completes immediately: shed
+		res := w.wait(ex.MultiGet(keys[i : i+1])) // completes immediately: shed
 		if !res.Partial() || len(res.ShardErrs) != 1 {
 			t.Fatalf("shed request %d not partial: %+v", i, res)
 		}
@@ -634,4 +635,107 @@ func TestVerdictAdmission(t *testing.T) {
 	waitFor(t, "admission poller to copy the verdicts", func() bool {
 		return ex.Degraded(0) && !ex.Degraded(1)
 	})
+}
+
+// fixedHedge is a stub hedge policy with a constant delay — every leg
+// that outlives it gets a speculative duplicate.
+type fixedHedge struct {
+	d   time.Duration
+	obs atomic.Uint64
+}
+
+func (f *fixedHedge) Delay(int) time.Duration    { return f.d }
+func (f *fixedHedge) Observe(int, time.Duration) { f.obs.Add(1) }
+
+// TestHedgeLoserDiscardAccounting floods a healthy store with hedges (a
+// near-zero fixed delay duplicates almost every leg) and checks the
+// wasted-work ledger at quiescence: every launched hedge produced
+// exactly one discarded completion — whichever side lost the settle
+// race — with no double-merges and no corrupted results. Run under
+// -race this doubles as the hedge/primary completion-race test.
+func TestHedgeLoserDiscardAccounting(t *testing.T) {
+	st, _, _ := newGatedStore(t, 4, 2, 1024)
+	for k := int64(0); k < 1024; k += 2 {
+		if _, err := st.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hp := &fixedHedge{d: time.Nanosecond}
+	ex, err := exec.New(st, exec.Config{LegTimeout: -1, Hedge: hp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ex.Close()
+
+	const clients, reqs = 8, 200
+	var wg sync.WaitGroup
+	errc := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := workload.RNG(uint64(c)*7919 + 1)
+			for i := 0; i < reqs; i++ {
+				keys := make([]int64, 8)
+				for j := range keys {
+					keys[j] = int64(rng.Next() % 1024)
+				}
+				h, err := ex.Submit(workload.Req{Kind: workload.ReqMultiGet, Keys: keys})
+				if err != nil {
+					errc <- err
+					return
+				}
+				res := h.Wait()
+				if res.Partial() {
+					errc <- &res.ShardErrs[0]
+					return
+				}
+				for j, r := range res.Results {
+					if r.Err != nil {
+						errc <- r.Err
+						return
+					}
+					if want := keys[j]%2 == 0; r.OK != want {
+						errc <- fmt.Errorf("key %d: got %v, want %v (hedge merged the wrong slot?)", keys[j], r.OK, want)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	// Wait() unblocks when the winning call merges; the loser's discard
+	// still lands on a shard worker afterwards, so give in-flight
+	// completions a bounded moment to drain before auditing the ledger.
+	s := ex.Stats()
+	for deadline := time.Now().Add(2 * time.Second); s.HedgeWaste != s.Hedges && time.Now().Before(deadline); {
+		time.Sleep(time.Millisecond)
+		s = ex.Stats()
+	}
+	if s.Hedges == 0 {
+		t.Fatal("near-zero hedge delay launched no hedges")
+	}
+	// At quiescence every hedged leg completed twice: one call settled
+	// it, the other was discarded — so waste equals hedges exactly, and
+	// hedge wins are a subset.
+	if s.HedgeWaste != s.Hedges {
+		t.Fatalf("wasted-work ledger off: %d hedges, %d discards", s.Hedges, s.HedgeWaste)
+	}
+	if s.HedgeWins > s.Hedges {
+		t.Fatalf("hedge wins %d exceed hedges %d", s.HedgeWins, s.Hedges)
+	}
+	if s.LegErrs != 0 || s.Timeouts != 0 {
+		t.Fatalf("healthy-store hedging produced leg errors %d / timeouts %d", s.LegErrs, s.Timeouts)
+	}
+	// Only settling calls feed the policy: one observation per leg, so
+	// the count can never exceed legs executed (it would with losers
+	// observed too, since almost every leg completes twice here).
+	if got, legs := hp.obs.Load(), s.Legs; got > legs {
+		t.Fatalf("hedge policy observed %d completions for %d legs: losers leaked into the quantile", got, legs)
+	}
 }

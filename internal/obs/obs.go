@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/obs/rec"
+	"repro/internal/resil"
 	"repro/internal/smr"
 	"repro/internal/store"
 	"repro/internal/telemetry"
@@ -34,6 +35,7 @@ type Registry struct {
 	Recorder *rec.Recorder
 	SLO      *SLOMonitor
 	Exec     *exec.Executor
+	Resil    *resil.Client
 }
 
 // VerdictHook adapts the flight recorder into a telemetry
@@ -281,6 +283,57 @@ func (r *Registry) WriteMetrics(w io.Writer) error {
 			}
 			if fam.err != nil {
 				return fam.err
+			}
+		}
+	}
+
+	// Resilience-layer ledgers: retry rounds and their budget, the hedge
+	// race outcome split, and the per-shard breaker position — the "what
+	// did the policy layer do about it" companion to the era_exec block.
+	if r.Resil != nil {
+		rs := r.Resil.Stats()
+		for _, m := range []struct {
+			name, typ, help string
+			v               float64
+		}{
+			{"era_resil_requests_total", "counter", "Requests accepted by the resilience client.", float64(rs.Requests)},
+			{"era_resil_attempts_total", "counter", "Executor submissions, retry rounds included.", float64(rs.Attempts)},
+			{"era_resil_retries_total", "counter", "Backoff-and-resubmit rounds taken.", float64(rs.Retries)},
+			{"era_resil_recovered_total", "counter", "Requests that ended clean after at least one retry.", float64(rs.Recovered)},
+			{"era_resil_budget_exhausted_total", "counter", "Retry rounds refused by the retry-budget token bucket.", float64(rs.BudgetExhausted)},
+			{"era_resil_fast_fails_total", "counter", "Keys refused locally by an open circuit breaker.", float64(rs.FastFails)},
+			{"era_resil_offered_units_total", "counter", "Operation units offered by callers (amplification denominator).", float64(rs.OfferedUnits)},
+			{"era_resil_attempt_units_total", "counter", "Operation units dispatched to the store, retries included.", float64(rs.AttemptUnits)},
+			{"era_resil_hedges_total", "counter", "Hedge calls launched against slow legs.", float64(rs.Hedges)},
+			{"era_resil_hedge_wins_total", "counter", "Legs settled by the hedge call rather than the primary.", float64(rs.HedgeWins)},
+			{"era_resil_wasted_work_total", "counter", "Hedge-race losers discarded through the late-call path.", float64(rs.HedgeWaste)},
+			{"era_resil_hedge_delay_ns", "gauge", "Current hedge trigger delay from the leg-latency quantile (0 = cold or disabled).", float64(rs.HedgeDelay)},
+		} {
+			fam := r.family(w, m.name, m.typ, m.help)
+			fam.add("", m.v)
+			if fam.err != nil {
+				return fam.err
+			}
+		}
+		if len(rs.Breakers) > 0 {
+			for _, g := range []struct {
+				name, typ, help string
+				val             func(resil.BreakerStats) float64
+			}{
+				{"era_resil_breaker_state", "gauge", "Circuit breaker position (0 closed, 1 open, 2 half-open).",
+					func(b resil.BreakerStats) float64 { return float64(b.State) }},
+				{"era_resil_breaker_opens_total", "counter", "Transitions into the open state.",
+					func(b resil.BreakerStats) float64 { return float64(b.Opens) }},
+				{"era_resil_breaker_failure_ewma", "gauge", "Smoothed recent leg-failure rate feeding the breaker.",
+					func(b resil.BreakerStats) float64 { return b.EWMA }},
+			} {
+				fam := r.family(w, g.name, g.typ, g.help)
+				for _, b := range rs.Breakers {
+					fam.add(fmt.Sprintf(`shard="%d"`, b.Shard), g.val(b))
+				}
+				if fam.err != nil {
+					return fam.err
+				}
 			}
 		}
 	}

@@ -110,6 +110,21 @@ const (
 	// A = the shard's queued legs at the shed, B = that queue's capacity,
 	// Label = request kind.
 	KindExecShed
+	// KindHedge records one hedge leg launched against a shard whose
+	// primary leg outlived the hedge delay: A = the leg's operation count
+	// (0 for range legs), B = the hedge delay in nanoseconds,
+	// Label = request kind.
+	KindHedge
+	// KindRetry records one typed-error-gated retry sub-request issued by
+	// the resilience layer: A = the retry attempt number (1 = first
+	// retry), B = the keys (or shards, for range requests) being retried,
+	// Label = request kind.
+	KindRetry
+	// KindBreaker records a per-shard circuit-breaker transition:
+	// A = new state, B = previous state (0 closed, 1 open, 2 half-open),
+	// Label = the transition's reason ("verdict not-robust",
+	// "failure ewma 0.83", "probes ok", ...).
+	KindBreaker
 	kindCount
 )
 
@@ -131,6 +146,9 @@ var kindNames = [kindCount]string{
 	KindExecScatter:    "exec-scatter",
 	KindExecMerge:      "exec-merge",
 	KindExecShed:       "exec-shed",
+	KindHedge:          "hedge",
+	KindRetry:          "retry",
+	KindBreaker:        "breaker",
 }
 
 // String returns the kind's wire name.

@@ -23,6 +23,13 @@ type SLOMonitor struct {
 	rec      *rec.Recorder
 	clock    *rec.Clock
 	interval time.Duration
+	// shard scopes the monitor's transition events: -1 for the classic
+	// store-wide monitor, a shard id inside an SLOSet.
+	shard int
+	// onTransition, when set, fires outside the lock on every
+	// breach/clear flip — the bridge that promotes SLO state into the
+	// telemetry verdict dimension.
+	onTransition func(breached bool)
 
 	mu    sync.Mutex
 	ring  []time.Duration
@@ -73,11 +80,23 @@ func NewSLO(target time.Duration, window int, clock *rec.Clock, r *rec.Recorder)
 		window: window,
 		rec:    r,
 		clock:  clock,
+		shard:  -1,
 		ring:   make([]time.Duration, window),
 		tmp:    make([]time.Duration, 0, window),
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
 	}
+}
+
+// NewShardSLO is NewSLO scoped to one shard: its breach/clear events
+// carry the shard id, and fn (optional) fires on every transition —
+// typically telemetry.Monitor.SetSLO, promoting the breach into the
+// shard's verdict dimension.
+func NewShardSLO(shard int, target time.Duration, window int, clock *rec.Clock, r *rec.Recorder, fn func(breached bool)) *SLOMonitor {
+	m := NewSLO(target, window, clock, r)
+	m.shard = shard
+	m.onTransition = fn
+	return m
 }
 
 // Observe records one service-request latency.
@@ -127,10 +146,13 @@ func (m *SLOMonitor) Eval() {
 	m.pts = append(m.pts, SLOPoint{At: m.clock.Now(), P99: p99, Breached: over})
 	m.mu.Unlock()
 	if fire {
-		m.rec.Record(rec.KindSLOBreach, -1, 0, uint64(p99), uint64(m.target), "")
+		m.rec.Record(rec.KindSLOBreach, m.shard, 0, uint64(p99), uint64(m.target), "")
 	}
 	if clear {
-		m.rec.Record(rec.KindSLOClear, -1, 0, uint64(p99), uint64(m.target), "")
+		m.rec.Record(rec.KindSLOClear, m.shard, 0, uint64(p99), uint64(m.target), "")
+	}
+	if (fire || clear) && m.onTransition != nil {
+		m.onTransition(fire)
 	}
 }
 
@@ -165,6 +187,82 @@ func (m *SLOMonitor) Stop() {
 		}
 		m.Eval()
 	})
+}
+
+// SLOSet fans the SLO out per shard: one SLOMonitor per shard over the
+// per-shard leg-latency feed (resil.Config.OnLegLatency), each wired to
+// a transition hook — typically telemetry.Monitor.SetSLO — so the
+// verdict plane can distinguish a shard that is "robust but slow" from
+// one that is not robust. A nil *SLOSet is usable and inert.
+type SLOSet struct {
+	mons []*SLOMonitor
+}
+
+// NewSLOSet builds shards per-shard monitors with a shared objective.
+// fn (optional) receives every (shard, breached) transition.
+func NewSLOSet(shards int, target time.Duration, window int, clock *rec.Clock, r *rec.Recorder, fn func(shard int, breached bool)) *SLOSet {
+	set := &SLOSet{}
+	for s := 0; s < shards; s++ {
+		shard := s
+		var hook func(bool)
+		if fn != nil {
+			hook = func(breached bool) { fn(shard, breached) }
+		}
+		set.mons = append(set.mons, NewShardSLO(shard, target, window, clock, r, hook))
+	}
+	return set
+}
+
+// Observe records one latency against shard s's objective — the
+// signature matches resil.Config.OnLegLatency.
+func (set *SLOSet) Observe(s int, d time.Duration) {
+	if set == nil || s < 0 || s >= len(set.mons) {
+		return
+	}
+	set.mons[s].Observe(d)
+}
+
+// Start drives every shard monitor's evaluation ticker.
+func (set *SLOSet) Start(interval time.Duration) {
+	if set == nil {
+		return
+	}
+	for _, m := range set.mons {
+		m.Start(interval)
+	}
+}
+
+// Stop halts every shard monitor (final evaluations included).
+func (set *SLOSet) Stop() {
+	if set == nil {
+		return
+	}
+	for _, m := range set.mons {
+		m.Stop()
+	}
+}
+
+// Breached reports shard s's current latch.
+func (set *SLOSet) Breached(s int) bool {
+	if set == nil || s < 0 || s >= len(set.mons) {
+		return false
+	}
+	m := set.mons[s]
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.over
+}
+
+// Snapshots returns every shard monitor's snapshot, indexed by shard.
+func (set *SLOSet) Snapshots() []SLOSnapshot {
+	if set == nil {
+		return nil
+	}
+	out := make([]SLOSnapshot, len(set.mons))
+	for s, m := range set.mons {
+		out[s] = m.Snapshot()
+	}
+	return out
 }
 
 // Snapshot copies the live state, p99 series included.

@@ -1,0 +1,237 @@
+package resil
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/obs/rec"
+	"repro/internal/smr"
+)
+
+// BreakerState is a per-shard circuit breaker's position.
+type BreakerState uint8
+
+const (
+	// BreakerClosed admits traffic and watches the failure EWMA.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen fast-fails the shard's keys locally and marks the
+	// shard degraded for the executor's admission control.
+	BreakerOpen
+	// BreakerHalfOpen admits a bounded number of probe requests whose
+	// outcomes decide between closing and re-opening.
+	BreakerHalfOpen
+)
+
+// String returns the state's metric/event name.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// breaker is one shard's circuit-breaker state machine. Two signals
+// open it: the recent-failure EWMA crossing its threshold, and the live
+// telemetry verdict auditing the shard NotRobust (the poller re-stamps
+// the open window while the verdict holds, so a not-robust shard cannot
+// half-open early). All fields are guarded by mu; the state machine is
+// far off the hot path (one transition per fault episode, one mutex op
+// per touched shard per attempt).
+type breaker struct {
+	mu       sync.Mutex
+	state    BreakerState
+	ewma     float64
+	obs      int
+	openedAt time.Time
+	// verdictHeld marks an open forced by the NotRobust verdict; it
+	// clears when the verdict does, releasing the OpenFor countdown.
+	verdictHeld bool
+	// probes / okProbes track half-open admission grants and their
+	// successes.
+	probes   int
+	okProbes int
+
+	opens       uint64
+	transitions uint64
+}
+
+// BreakerStats is one shard's breaker snapshot.
+type BreakerStats struct {
+	Shard int          `json:"shard"`
+	State BreakerState `json:"state"`
+	// EWMA is the smoothed recent failure rate in [0,1].
+	EWMA float64 `json:"ewma"`
+	// Opens counts transitions into BreakerOpen; Transitions all state
+	// changes.
+	Opens       uint64 `json:"opens"`
+	Transitions uint64 `json:"transitions"`
+}
+
+// transition moves b (locked) to next, stamping the flight recorder.
+func (c *Client) transition(shard int, b *breaker, next BreakerState, reason string) {
+	if b.state == next {
+		return
+	}
+	prev := b.state
+	b.state = next
+	b.transitions++
+	switch next {
+	case BreakerOpen:
+		b.opens++
+		b.openedAt = time.Now()
+		b.probes, b.okProbes = 0, 0
+	case BreakerHalfOpen:
+		b.probes, b.okProbes = 0, 0
+	case BreakerClosed:
+		b.ewma, b.obs = 0, 0
+	}
+	c.cfg.Recorder.Record(rec.KindBreaker, shard, 0, uint64(next), uint64(prev), reason)
+}
+
+// allowShard asks shard s's breaker whether this attempt may touch the
+// shard; probe reports that the grant is a half-open probe whose
+// outcome must feed the probe ledger. Without breakers every shard
+// admits.
+func (c *Client) allowShard(s int) (admit, probe bool) {
+	if c.breakers == nil || s < 0 || s >= len(c.breakers) {
+		return true, false
+	}
+	b := &c.breakers[s]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true, false
+	case BreakerOpen:
+		if !b.verdictHeld && time.Since(b.openedAt) >= c.cfg.OpenFor {
+			c.transition(s, b, BreakerHalfOpen, "open window elapsed")
+			b.probes++
+			return true, true
+		}
+		return false, false
+	default: // BreakerHalfOpen
+		if b.probes < c.cfg.HalfOpenProbes {
+			b.probes++
+			return true, true
+		}
+		return false, false
+	}
+}
+
+// observeBreaker feeds one shard-touch outcome back into the shard's
+// breaker: probes drive the half-open ledger, every outcome drives the
+// failure EWMA, and a closed breaker trips once the smoothed rate
+// crosses the threshold with enough evidence behind it.
+func (c *Client) observeBreaker(s int, ok, probe bool) {
+	if c.breakers == nil || s < 0 || s >= len(c.breakers) {
+		return
+	}
+	b := &c.breakers[s]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	x := 1.0
+	if ok {
+		x = 0
+	}
+	b.ewma += c.cfg.BreakerEWMA * (x - b.ewma)
+	b.obs++
+	switch b.state {
+	case BreakerClosed:
+		if b.obs >= c.cfg.BreakerMinObs && b.ewma > c.cfg.BreakerOpenAt {
+			c.transition(s, b, BreakerOpen, fmt.Sprintf("failure ewma %.2f", b.ewma))
+		}
+	case BreakerHalfOpen:
+		if !probe {
+			return
+		}
+		if !ok {
+			c.transition(s, b, BreakerOpen, "probe failed")
+			return
+		}
+		b.okProbes++
+		if b.okProbes >= c.cfg.HalfOpenProbes {
+			c.transition(s, b, BreakerClosed, "probes ok")
+		}
+	}
+}
+
+// breakerState returns shard s's current breaker position.
+func (c *Client) breakerState(s int) BreakerState {
+	if c.breakers == nil || s < 0 || s >= len(c.breakers) {
+		return BreakerClosed
+	}
+	b := &c.breakers[s]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// breakerStats snapshots shard s's breaker.
+func (c *Client) breakerStats(s int) BreakerStats {
+	b := &c.breakers[s]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStats{Shard: s, State: b.state, EWMA: b.ewma, Opens: b.opens, Transitions: b.transitions}
+}
+
+// pollVerdicts is the breaker's telemetry feed: a conclusive NotRobust
+// audit on a shard's domain forces its breaker open and holds it there
+// (re-stamping the open window) until the verdict clears.
+func (c *Client) pollVerdicts() {
+	defer c.wg.Done()
+	mon := c.cfg.Verdicts
+	t := time.NewTicker(c.cfg.VerdictEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			n := mon.Domains()
+			if n > len(c.breakers) {
+				n = len(c.breakers)
+			}
+			for s := 0; s < n; s++ {
+				v := mon.Verdict(s)
+				notRobust := !v.Inconclusive() && v.AuditedClass() == smr.NotRobust
+				b := &c.breakers[s]
+				b.mu.Lock()
+				if notRobust {
+					if b.state != BreakerOpen {
+						c.transition(s, b, BreakerOpen, "verdict not-robust")
+					}
+					b.verdictHeld = true
+					b.openedAt = time.Now()
+				} else if b.verdictHeld {
+					b.verdictHeld = false
+					b.openedAt = time.Now() // OpenFor counts from the clear
+				}
+				b.mu.Unlock()
+			}
+		}
+	}
+}
+
+// breakerAdmission fuses the breaker state into the executor's
+// admission signal: a shard with an open breaker is degraded (its range
+// legs queue-or-shed instead of blocking), on top of whatever inner
+// signal — typically the verdict admission — already reports.
+type breakerAdmission struct {
+	c     *Client
+	inner exec.Admission
+}
+
+func (a breakerAdmission) Degraded(shard int) bool {
+	if a.inner != nil && a.inner.Degraded(shard) {
+		return true
+	}
+	return a.c.breakerState(shard) == BreakerOpen
+}

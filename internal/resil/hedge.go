@@ -1,0 +1,64 @@
+package resil
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/hist"
+)
+
+// hedgePolicy is the client's exec.HedgePolicy: a log-bucketed latency
+// histogram of every landed store call, refreshed into a hedge delay at
+// the configured quantile every HedgeWindow observations. Until the
+// first refresh the delay is zero and the executor hedges nothing — the
+// cold-start guard that keeps a fresh client from hedging every leg.
+//
+// The same Observe stream doubles as the per-shard latency feed for the
+// SLO verdict dimension (onLat), so deployments that only want SLO
+// observation run the policy with hedging disabled.
+type hedgePolicy struct {
+	enabled  bool
+	quantile float64
+	min      time.Duration
+	every    uint64
+	onLat    func(shard int, d time.Duration)
+
+	mu sync.Mutex
+	h  hist.Latency
+	n  uint64
+
+	delay atomic.Int64 // current hedge delay, ns; 0 = cold
+}
+
+// Delay returns the hedge delay for shard legs (the policy tracks one
+// store-wide distribution — a leg is hedged because it is an outlier
+// against the fleet, not against its own struggling shard).
+func (p *hedgePolicy) Delay(shard int) time.Duration {
+	if !p.enabled {
+		return 0
+	}
+	return time.Duration(p.delay.Load())
+}
+
+// Observe feeds one landed call's latency into the quantile tracker and
+// the SLO latency feed.
+func (p *hedgePolicy) Observe(shard int, d time.Duration) {
+	if p.onLat != nil {
+		p.onLat(shard, d)
+	}
+	if !p.enabled {
+		return
+	}
+	p.mu.Lock()
+	p.h.Record(d)
+	p.n++
+	if p.n%p.every == 0 {
+		q := p.h.Percentile(p.quantile)
+		if q < p.min {
+			q = p.min
+		}
+		p.delay.Store(int64(q))
+	}
+	p.mu.Unlock()
+}

@@ -1,0 +1,295 @@
+package resil_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/obs/rec"
+	"repro/internal/resil"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// newStore builds a plain (ungated) sharded store for policy tests.
+func newStore(t *testing.T, shards, workers, keyRange int) *store.Store {
+	t.Helper()
+	specs := make([]store.ShardSpec, shards)
+	for i := range specs {
+		specs[i] = store.ShardSpec{Scheme: "ebr", Structure: "hashmap", Workers: workers}
+	}
+	st, err := store.New(store.Config{Shards: specs, KeyRange: keyRange})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// keysOnShard returns n keys the store routes to shard s.
+func keysOnShard(t *testing.T, st *store.Store, s, keyRange, n int) []int64 {
+	t.Helper()
+	var keys []int64
+	for k := int64(0); k < int64(keyRange) && len(keys) < n; k++ {
+		if st.ShardFor(k) == s {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) < n {
+		t.Fatalf("only %d of %d keys route to shard %d", len(keys), n, s)
+	}
+	return keys
+}
+
+// TestRetryErrorUnwraps pins the error-chain contract: the typed leg
+// failures stay matchable through RetryError and exec.ShardError
+// wrapping, in both synthetic chains and chains assembled by a real
+// gave-up retry loop.
+func TestRetryErrorUnwraps(t *testing.T) {
+	syn := &resil.RetryError{Attempts: 3, Err: &exec.ShardError{Shard: 2, Reason: exec.ErrShed}}
+	if !errors.Is(syn, exec.ErrShed) {
+		t.Fatal("RetryError does not unwrap to the shed sentinel")
+	}
+	var serr *exec.ShardError
+	if !errors.As(syn, &serr) || serr.Shard != 2 {
+		t.Fatalf("RetryError does not unwrap to the shard error: %v", syn)
+	}
+
+	st := newStore(t, 4, 1, 256)
+	cl, err := resil.New(st, exec.Config{}, resil.Config{
+		MaxAttempts: 2,
+		RetryBase:   100 * time.Microsecond,
+		RetryCap:    200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := st.CloseShard(1); err != nil {
+		t.Fatal(err)
+	}
+	keys := keysOnShard(t, st, 1, 256, 4)
+	res, err := cl.Do(workload.Req{Kind: workload.ReqMultiGet, Keys: keys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial() || len(res.ShardErrs) != 1 {
+		t.Fatalf("closed shard did not surface as a partial result: %+v", res)
+	}
+	chain := error(&res.ShardErrs[0])
+	if !errors.Is(chain, store.ErrShardClosed) {
+		t.Fatalf("final shard error does not unwrap to ErrShardClosed: %v", chain)
+	}
+	var rerr *resil.RetryError
+	if !errors.As(chain, &rerr) || rerr.Attempts != 2 {
+		t.Fatalf("final shard error does not carry the retry record: %v", chain)
+	}
+	// Per-key result slots must tell the same story as ShardErrs.
+	for i, r := range res.Results {
+		if r.Err == nil {
+			t.Fatalf("key %d on the closed shard reported success", i)
+		}
+		if !errors.Is(r.Err, store.ErrShardClosed) {
+			t.Fatalf("key %d error does not unwrap to ErrShardClosed: %v", i, r.Err)
+		}
+	}
+}
+
+// TestRetryRecoversAfterReopen wedges one shard, heals it mid-backoff,
+// and checks the retry loop merges the recovered keys back clean.
+func TestRetryRecoversAfterReopen(t *testing.T) {
+	st := newStore(t, 4, 1, 256)
+	cl, err := resil.New(st, exec.Config{}, resil.Config{
+		MaxAttempts: 3,
+		RetryBase:   50 * time.Millisecond, // jittered [25ms, 50ms): reopen far earlier
+		RetryCap:    100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := st.CloseShard(1); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		_ = st.ReopenShard(1)
+	}()
+	keys := append(keysOnShard(t, st, 1, 256, 4), keysOnShard(t, st, 0, 256, 4)...)
+	res, err := cl.Do(workload.Req{Kind: workload.ReqMultiGet, Keys: keys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partial() {
+		t.Fatalf("retry did not recover the healed shard: %+v", res.ShardErrs)
+	}
+	for i, r := range res.Results {
+		if r.Err != nil {
+			t.Fatalf("key %d still failing after recovery: %v", i, r.Err)
+		}
+	}
+	s := cl.Stats()
+	if s.Retries == 0 || s.Recovered != 1 {
+		t.Fatalf("recovery not accounted: retries %d recovered %d", s.Retries, s.Recovered)
+	}
+	if rs := cl.RetriesByShard(); rs[1] == 0 {
+		t.Fatalf("per-shard retry ledger missed the faulted shard: %v", rs)
+	}
+}
+
+// TestRetryBudgetExhaustion pins the amplification bound: with the
+// token bucket drained, retry rounds are refused — and a negative
+// budget disables retries outright.
+func TestRetryBudgetExhaustion(t *testing.T) {
+	st := newStore(t, 4, 1, 256)
+	cl, err := resil.New(st, exec.Config{}, resil.Config{
+		MaxAttempts: 3,
+		RetryBase:   100 * time.Microsecond,
+		RetryCap:    200 * time.Microsecond,
+		RetryBudget: 0.01, // earns ~nothing per request
+		BudgetBurst: 1,    // one token: any multi-key retry round overdraws
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := st.CloseShard(1); err != nil {
+		t.Fatal(err)
+	}
+	keys := keysOnShard(t, st, 1, 256, 4)
+	res, err := cl.Do(workload.Req{Kind: workload.ReqMultiGet, Keys: keys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial() {
+		t.Fatal("exhausted budget still produced a clean result on a closed shard")
+	}
+	s := cl.Stats()
+	if s.BudgetExhausted == 0 {
+		t.Fatalf("drained bucket did not refuse the retry round: %+v", s)
+	}
+	if s.Retries != 0 {
+		t.Fatalf("refused round still retried %d times", s.Retries)
+	}
+	// ShardErrs must NOT carry a RetryError: the request never got a
+	// second attempt, so there is no retry record to report.
+	var rerr *resil.RetryError
+	if errors.As(&res.ShardErrs[0], &rerr) {
+		t.Fatalf("unretried failure wrapped in RetryError: %v", &res.ShardErrs[0])
+	}
+
+	// Negative budget: retries disabled entirely, no exhaustion noise.
+	cl2, err := resil.New(st, exec.Config{}, resil.Config{
+		MaxAttempts: 3,
+		RetryBase:   100 * time.Microsecond,
+		RetryCap:    200 * time.Microsecond,
+		RetryBudget: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	if _, err := cl2.Do(workload.Req{Kind: workload.ReqMultiGet, Keys: keys}); err != nil {
+		t.Fatal(err)
+	}
+	if s := cl2.Stats(); s.Retries != 0 {
+		t.Fatalf("negative budget still retried %d times", s.Retries)
+	}
+}
+
+// TestBreakerLifecycle drives one shard's breaker around the full loop
+// — closed, tripped open by the failure EWMA, half-open probes after
+// the heal, closed again — against a deterministically wedged shard,
+// and checks the transitions landed on the flight recorder.
+func TestBreakerLifecycle(t *testing.T) {
+	st := newStore(t, 4, 1, 256)
+	clock := rec.NewClock()
+	recorder := rec.NewRecorder(clock, 0)
+	cl, err := resil.New(st, exec.Config{}, resil.Config{
+		MaxAttempts:    1, // isolate the breaker: no retries
+		RetryBudget:    -1,
+		Breaker:        true,
+		BreakerEWMA:    0.5,
+		BreakerMinObs:  2,
+		BreakerOpenAt:  0.6,
+		OpenFor:        10 * time.Millisecond,
+		HalfOpenProbes: 2,
+		Clock:          clock,
+		Recorder:       recorder,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := st.CloseShard(1); err != nil {
+		t.Fatal(err)
+	}
+	keys := keysOnShard(t, st, 1, 256, 2)
+	req := workload.Req{Kind: workload.ReqMultiGet, Keys: keys}
+
+	// Failures accumulate EWMA 0.5 → 0.75 → trips past 0.6 with obs ≥ 2.
+	deadline := time.Now().Add(2 * time.Second)
+	for cl.Stats().Breakers[1].State != resil.BreakerOpen {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never opened: %+v", cl.Stats().Breakers[1])
+		}
+		if _, err := cl.Do(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Open breaker fast-fails locally with the typed sentinel.
+	res, err := cl.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(&res.ShardErrs[0], resil.ErrBreakerOpen) {
+		t.Fatalf("open breaker did not fast-fail: %v", &res.ShardErrs[0])
+	}
+	if cl.Stats().FastFails == 0 {
+		t.Fatal("fast-fail ledger empty with an open breaker")
+	}
+
+	// Heal the shard; after OpenFor the next requests are half-open
+	// probes, and HalfOpenProbes successes close the breaker.
+	if err := st.ReopenShard(1); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(2 * time.Second)
+	for cl.Stats().Breakers[1].State != resil.BreakerClosed {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never closed after heal: %+v", cl.Stats().Breakers[1])
+		}
+		if _, err := cl.Do(req); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	bs := cl.Stats().Breakers[1]
+	if bs.Opens != 1 {
+		t.Fatalf("breaker opened %d times, want exactly 1", bs.Opens)
+	}
+
+	// The recorder holds the transition walk for shard 1, in order:
+	// closed→open, open→half-open, half-open→closed.
+	var walk [][2]uint64
+	for _, ev := range recorder.Snapshot() {
+		if ev.Kind == rec.KindBreaker && ev.Shard == 1 {
+			walk = append(walk, [2]uint64{ev.B, ev.A}) // prev → next
+		}
+	}
+	want := [][2]uint64{
+		{uint64(resil.BreakerClosed), uint64(resil.BreakerOpen)},
+		{uint64(resil.BreakerOpen), uint64(resil.BreakerHalfOpen)},
+		{uint64(resil.BreakerHalfOpen), uint64(resil.BreakerClosed)},
+	}
+	if len(walk) != len(want) {
+		t.Fatalf("breaker stamped %d transitions, want %d: %v", len(walk), len(want), walk)
+	}
+	for i := range want {
+		if walk[i] != want[i] {
+			t.Fatalf("transition %d = %v, want %v", i, walk[i], want[i])
+		}
+	}
+}

@@ -53,6 +53,11 @@ type Monitor struct {
 	// incarnation re-baselines.
 	lastClass []smr.RobustnessClass
 	lastValid []bool
+	// slo marks domains whose tail-latency SLO is currently breached —
+	// the orthogonal verdict dimension that distinguishes "robust but
+	// slow" from "not robust". Fed by SetSLO (typically from an
+	// obs.SLOSet transition hook), copied into every Verdict.
+	slo []bool
 }
 
 // NewMonitor builds a monitor over the given domains; domain i consumes
@@ -66,6 +71,7 @@ func NewMonitor(cfg MonitorConfig, domains []Domain) *Monitor {
 	m.fits = make([]*WindowFit, len(m.domains))
 	m.lastClass = make([]smr.RobustnessClass, len(m.domains))
 	m.lastValid = make([]bool, len(m.domains))
+	m.slo = make([]bool, len(m.domains))
 	for i := range m.fits {
 		m.fits[i] = NewWindowFit(cfg.Window)
 	}
@@ -134,9 +140,33 @@ func (m *Monitor) Restarts(domain int) int {
 	return m.fits[domain].Resets()
 }
 
+// SetSLO flips domain i's tail-latency SLO dimension: breached marks
+// the domain "slow" orthogonally to its backlog-growth class, so a
+// consumer can tell "robust but slow" (de-escalation candidate) from
+// "not robust" (escalation candidate). Typically wired from an
+// obs.SLOSet transition hook.
+func (m *Monitor) SetSLO(domain int, breached bool) {
+	if domain < 0 || domain >= len(m.slo) {
+		return
+	}
+	m.mu.Lock()
+	m.slo[domain] = breached
+	m.mu.Unlock()
+}
+
+// SLOBreached reports domain i's current SLO dimension.
+func (m *Monitor) SLOBreached(domain int) bool {
+	if domain < 0 || domain >= len(m.slo) {
+		return false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.slo[domain]
+}
+
 // Verdict returns domain i's live windowed verdict: the current window's
-// fit related to the domain's declared class. Safe to call while the
-// sampler keeps observing.
+// fit related to the domain's declared class, carrying the domain's SLO
+// dimension. Safe to call while the sampler keeps observing.
 func (m *Monitor) Verdict(domain int) Verdict {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -146,7 +176,9 @@ func (m *Monitor) Verdict(domain int) Verdict {
 	d := m.domains[domain]
 	fit := m.fits[domain].Fit(d.Budget)
 	fit.Sanitize()
-	return NewVerdict(d.Scheme, d.Declared, fit)
+	v := NewVerdict(d.Scheme, d.Declared, fit)
+	v.SLOBreached = m.slo[domain]
+	return v
 }
 
 // Verdicts returns every domain's live verdict.

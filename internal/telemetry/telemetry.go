@@ -49,6 +49,16 @@ type Point struct {
 	TravSteps    uint64 `json:"trav_steps"`
 	TravRestarts uint64 `json:"trav_restarts"`
 	GuardTrips   uint64 `json:"guard_trips"`
+	// Resilience activity on the domain, when an exec/resil layer serves
+	// it: cumulative scatter legs shed by admission control, retry legs
+	// re-submitted, hedge calls launched, and the shard breaker's current
+	// position (BreakerState values; 0 = closed/none). These make
+	// resilience *activity* — not just its symptoms — visible to the
+	// Monitor and the timeline join.
+	Sheds        uint64 `json:"sheds,omitempty"`
+	Retries      uint64 `json:"retries,omitempty"`
+	Hedges       uint64 `json:"hedges,omitempty"`
+	BreakerState uint8  `json:"breaker_state,omitempty"`
 }
 
 // Series is a fixed-capacity ring buffer of Points: the sampler pushes,

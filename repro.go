@@ -41,6 +41,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/obs/rec"
+	"repro/internal/resil"
 	"repro/internal/smr"
 	"repro/internal/smr/all"
 	"repro/internal/store"
@@ -275,6 +276,61 @@ func RunPipeline(cfg PipelineConfig) (PipelineResult, error) { return bench.RunP
 // BENCH_pipeline.json artifact format.
 func WritePipelineArtifact(w io.Writer, res PipelineResult) error {
 	return bench.WritePipelineReport(w, res)
+}
+
+// ResilClient is the resilience policy layer over one executor:
+// typed-error-aware retries under a store-wide budget, hedged legs at a
+// live-tracked quantile delay, verdict-fed per-shard circuit breakers,
+// and a settled-leg latency feed for SLO verdicts (see internal/resil).
+type ResilClient = resil.Client
+
+// ResilConfig assembles a ResilClient: retry shape and budget, hedge
+// quantile, breaker thresholds, verdict feed, and recorder wiring.
+type ResilConfig = resil.Config
+
+// ResilStats is the client's resilience ledger: retries, recoveries,
+// budget refusals, hedges and wasted work, per-shard breaker snapshots,
+// with Amplification() as the dispatched-over-offered ratio.
+type ResilStats = resil.Stats
+
+// BreakerState is a per-shard circuit breaker's position
+// (closed/open/half-open); BreakerStats one shard's breaker snapshot.
+type BreakerState = resil.BreakerState
+
+type BreakerStats = resil.BreakerStats
+
+// RetryError wraps a shard's final error after the retry policy gave
+// up; errors.Is/As keep matching the underlying typed failure through
+// it.
+type RetryError = resil.RetryError
+
+// ErrBreakerOpen is the typed fast-fail an open breaker answers with.
+var ErrBreakerOpen = resil.ErrBreakerOpen
+
+// NewResilClient wraps a running store's scatter-gather path in the
+// resilience policies.
+func NewResilClient(st *Store, execCfg ExecConfig, cfg ResilConfig) (*ResilClient, error) {
+	return resil.New(st, execCfg, cfg)
+}
+
+// ResilConfigExp sizes the resilience experiment: the naive vs
+// resilient goodput arms under staggered chaos, the hedged-tail pulse
+// pass, and the amplification bound.
+type ResilConfigExp = bench.ResilConfig
+
+// ResilResult is the experiment outcome: both arm rows, the hedge rows,
+// and the headline verdicts (goodput recovered, hedges bound the tail,
+// amplification bounded).
+type ResilResult = bench.ResilResult
+
+// RunResil runs the resilience experiment (the erabench -exp resil
+// experiment is a thin wrapper over this).
+func RunResil(cfg ResilConfigExp) (ResilResult, error) { return bench.RunResil(cfg) }
+
+// WriteResilArtifact emits the experiment as the machine-readable
+// BENCH_resil.json artifact format.
+func WriteResilArtifact(w io.Writer, res ResilResult) error {
+	return bench.WriteResilReport(w, res)
 }
 
 // ChaosConfig sizes the chaos-injection robustness audit: a gated store
