@@ -10,6 +10,7 @@
 //	erabench -exp chaos        # EXP-CHAOS:   live robustness audit (erachaos)
 //	erabench -exp adaptive     # EXP-ADAPT:   static vs adaptive reclamation
 //	erabench -exp traverse     # EXP-TRAVERSE: bounded finds + iterator snapshot
+//	erabench -exp batch        # EXP-BATCH:   fused vs per-op-bracket batches
 //	erabench -exp obs          # EXP-OBS:     fault→verdict→migration causal timelines
 //	erabench -exp all          # everything
 //
@@ -38,7 +39,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: matrix|space|scale|stall|throughput|structures|michael|service|chaos|adaptive|traverse|obs|pipeline|resil|all")
+	exp := flag.String("exp", "all", "experiment: matrix|space|scale|stall|throughput|structures|michael|service|chaos|adaptive|traverse|batch|obs|pipeline|resil|all")
 	shards := flag.Int("shards", 4, "shard count for the service experiment")
 	duration := flag.Duration("duration", 800*time.Millisecond, "traffic window for the adaptive experiment")
 	adaptiveJSON := flag.String("adaptive-json", "BENCH_adaptive.json",
@@ -47,6 +48,10 @@ func main() {
 		"traverse artifact path, written by the traverse experiment (empty disables)")
 	traverseShort := flag.Bool("traverse-short", false,
 		"run EXP-TRAVERSE at reduced scale (the CI smoke configuration)")
+	batchJSON := flag.String("batch-json", "BENCH_batch.json",
+		"batch artifact path, written by the batch experiment (empty disables)")
+	batchShort := flag.Bool("batch-short", false,
+		"run EXP-BATCH at reduced scale (the CI smoke configuration)")
 	obsJSON := flag.String("obs-json", "BENCH_obs.json",
 		"observability artifact path, written by the obs experiment (empty disables)")
 	obsTrace := flag.String("obs-trace", "BENCH_obs_trace.json",
@@ -75,7 +80,7 @@ func main() {
 	jsonPath := flag.String("json", "", "write throughput rows as a JSON benchmark artifact to this path")
 	flag.Parse()
 
-	exps := []string{"matrix", "space", "scale", "stall", "throughput", "structures", "michael", "service", "chaos", "adaptive", "traverse", "obs", "pipeline", "resil", "all"}
+	exps := []string{"matrix", "space", "scale", "stall", "throughput", "structures", "michael", "service", "chaos", "adaptive", "traverse", "batch", "obs", "pipeline", "resil", "all"}
 	known := false
 	for _, e := range exps {
 		known = known || e == *exp
@@ -148,6 +153,16 @@ func main() {
 			os.Exit(2)
 		}
 		traverseFile = f
+	}
+	// And for the batch experiment's A/B + gate artifact.
+	var batchFile *os.File
+	if *batchJSON != "" && want("batch") {
+		f, err := os.Create(*batchJSON)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "erabench: %v\n", err)
+			os.Exit(2)
+		}
+		batchFile = f
 	}
 	// And for the obs experiment's artifact pair (timeline + trace).
 	var obsFile, obsTraceFile *os.File
@@ -390,6 +405,41 @@ func main() {
 				fmt.Printf("wrote %s\n", *traverseJSON)
 			}
 			return nil
+		})
+	}
+	if want("batch") {
+		run("EXP-BATCH: fused vs per-op SMR brackets, zero-alloc spine, parked-worker backlog", func() error {
+			// The canned A/B: the same batched churn stream served once
+			// through the fused hot path (one amortized bracket per request,
+			// key-sorted execution) and once with ShardSpec.NoFuse, across
+			// one scheme per reclamation family — then the zero-alloc DoInto
+			// count and the parked-worker backlog guard.
+			cfg := bench.BatchConfig{Seed: *seed}
+			if *batchShort {
+				cfg.Duration = 150 * time.Millisecond
+				cfg.StallDuration = 150 * time.Millisecond
+				cfg.Batches = []int{16}
+				cfg.Schemes = []string{"ebr", "hp"}
+				cfg.KeyRange = 1024
+				cfg.AllocRounds = 500
+			}
+			res, err := bench.RunBatch(cfg)
+			if err != nil {
+				return err
+			}
+			bench.WriteBatchTable(os.Stdout, res)
+			if batchFile != nil {
+				err := bench.WriteBatchReport(batchFile, res)
+				if cerr := batchFile.Close(); err == nil {
+					err = cerr
+				}
+				batchFile = nil
+				if err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", *batchJSON)
+			}
+			return bench.CheckBatch(res)
 		})
 	}
 	if want("obs") {

@@ -54,7 +54,9 @@ func main() {
 	workers := flag.Int("workers", 1, "worker goroutines per shard")
 	clients := flag.Int("clients", 0, "closed-loop client goroutines (0 = 2×shards)")
 	ops := flag.Int("ops", 20000, "measured operations per client (op-boxed mode)")
-	batch := flag.Int("batch", 16, "operations per service request")
+	batch := flag.Int("batch", 16, "operations per service request (>= 2 engages the fused shard hot path)")
+	nofuse := flag.Bool("nofuse", false,
+		"serve every op under its own SMR bracket instead of fusing batches (the A/B baseline for -batch sweeps)")
 	keyRange := flag.Int("keyrange", 8192, "key universe size")
 	duration := flag.Duration("duration", 0,
 		"duration-boxed traffic window (0 = op-boxed via -ops; -adapt defaults this to 2s)")
@@ -149,6 +151,7 @@ func main() {
 		Clients:         *clients,
 		OpsPerClient:    *ops,
 		Batch:           *batch,
+		NoFuse:          *nofuse,
 		KeyRange:        *keyRange,
 		Mix:             baseMix,
 		Workload:        *wl,

@@ -250,6 +250,63 @@ func ReadTraverseReport(r io.Reader) (TraverseReport, error) {
 	return rep, nil
 }
 
+// WriteBatchTable renders EXP-BATCH: the throughput pairs, the
+// allocation section, the parked-worker backlog pairs, then the
+// headlines.
+func WriteBatchTable(w io.Writer, res BatchResult) {
+	fmt.Fprintf(w, "%-7s %6s %-7s %10s %10s %10s %10s %9s %11s %11s %7s\n",
+		"scheme", "batch", "arm", "ops", "Mops/s", "p50", "p99", "fused", "rebrackets", "sorts", "ratio")
+	for _, p := range res.Pairs {
+		for _, a := range []BatchArm{p.Fused, p.Serial} {
+			ratio := ""
+			if a.Mode == "fused" {
+				ratio = fmt.Sprintf("%.2fx", p.Ratio)
+			}
+			fmt.Fprintf(w, "%-7s %6d %-7s %10d %10.3f %10s %10s %9d %11d %11d %7s\n",
+				p.Scheme, p.Batch, a.Mode, a.Ops, a.MopsPerSec, fmtLatency(a.P50), fmtLatency(a.P99),
+				a.FusedBatches, a.Rebrackets, a.BatchSorts, ratio)
+		}
+	}
+	fmt.Fprintf(w, "allocs: %d DoInto calls × batch %d: %.2f allocs/call, %.1f B/call (zero-alloc: %v)\n",
+		res.Allocs.Rounds, res.Allocs.Batch, res.Allocs.AllocsPerOp, res.Allocs.BytesPerOp, res.Allocs.ZeroAlloc)
+	fmt.Fprintf(w, "%-7s %-22s %-22s %8s\n", "scheme", "fused peak-retired/ops", "per-op peak-retired/ops", "bounded")
+	for _, p := range res.Backlog {
+		fmt.Fprintf(w, "%-7s %-22s %-22s %8v\n", p.Scheme,
+			fmt.Sprintf("%d / %d", p.Fused.PeakRetired, p.Fused.Ops),
+			fmt.Sprintf("%d / %d", p.Serial.PeakRetired, p.Serial.Ops),
+			p.Bounded)
+	}
+	fmt.Fprintf(w, "aggregate: %d workers, %d clients, %s window, keyrange %d, stall %s, seed %d\n",
+		res.Workers, res.Clients, res.Duration, res.KeyRange, res.StallDuration, res.Seed)
+	fmt.Fprintf(w, "           best ratio %.2fx (fused beats serial: %v), zero-alloc: %v, backlog bounded: %v\n",
+		res.BestRatio, res.FusedBeatsSerial, res.ZeroAlloc, res.BacklogBounded)
+}
+
+// BatchReport is the machine-readable batch artifact (the
+// BENCH_batch.json file), under the same experiment convention as
+// Report.
+type BatchReport struct {
+	Experiment string `json:"experiment"`
+	BatchResult
+}
+
+// WriteBatchReport emits the batch experiment as an indented JSON
+// benchmark artifact.
+func WriteBatchReport(w io.Writer, res BatchResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(BatchReport{Experiment: "batch", BatchResult: res})
+}
+
+// ReadBatchReport parses an artifact written by WriteBatchReport.
+func ReadBatchReport(r io.Reader) (BatchReport, error) {
+	var rep BatchReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return BatchReport{}, fmt.Errorf("bench: malformed batch artifact: %w", err)
+	}
+	return rep, nil
+}
+
 // WriteChaosTable renders the chaos audit: one verdict line per scheme
 // shard, the fault episode log, then the client-side aggregate.
 func WriteChaosTable(w io.Writer, res ChaosResult) {

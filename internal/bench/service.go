@@ -78,6 +78,10 @@ type ServiceConfig struct {
 	// FanoutKeys is the key count per multi-key fan-out request; 0
 	// selects 8.
 	FanoutKeys int
+	// NoFuse disables every shard's batch-fused execution path, serving
+	// each operation under its own SMR bracket — the per-op baseline arm
+	// of the batch sweep (eraserve -nofuse).
+	NoFuse bool
 	// Retry, Hedge and Breaker route the fan-out lane through the
 	// resilience client (internal/resil) instead of the bare executor:
 	// typed-error-aware retries, p99-delay hedged legs, and per-shard
@@ -513,6 +517,7 @@ func RunService(cfg ServiceConfig) (ServiceResult, error) {
 			Scheme:    cfg.Schemes[i%len(cfg.Schemes)],
 			Structure: cfg.Structure,
 			Workers:   cfg.WorkersPerShard,
+			NoFuse:    cfg.NoFuse,
 		}
 	}
 	// The observability plane is opt-in: with ObsAddr set, the shards

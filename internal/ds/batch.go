@@ -1,0 +1,79 @@
+package ds
+
+import (
+	"errors"
+
+	"repro/internal/smr"
+)
+
+// Batch-fused execution: a BatchSet runs a whole slice of point ops
+// under one amortized SMR bracket (smr.BeginOps / Window.Step /
+// EndOps) instead of paying BeginOp+EndOp per op. The ordered list
+// structures additionally reuse their validated-predecessor cache
+// across consecutive ops, so a key-sorted batch of k ops becomes one
+// amortized sweep. Semantics are identical to running the ops one by
+// one in slice order on the same thread: same results, same per-op
+// errors, execution continues past a failed op.
+
+// BatchKind is a point-op kind inside a batch. The values deliberately
+// mirror workload.Op (contains=0, insert=1, delete=2) so the store can
+// convert with a cast.
+type BatchKind uint8
+
+// Batch op kinds.
+const (
+	BatchContains BatchKind = iota
+	BatchInsert
+	BatchDelete
+)
+
+// BatchOp is one point operation of a batch.
+type BatchOp struct {
+	Kind BatchKind
+	Key  int64
+}
+
+// BatchResult is the outcome of one batch op, matching what the
+// structure's Contains/Insert/Delete would have returned.
+type BatchResult struct {
+	OK  bool
+	Err error
+}
+
+// ErrBadBatchOp reports an op kind outside the Batch* set.
+var ErrBadBatchOp = errors.New("ds: invalid batch op kind")
+
+// BatchSet is the fused fast path. ApplyBatch executes ops in order on
+// thread tid, writing res[i] for ops[i] (res must have len >= len(ops)),
+// and returns the number of bracket renewals the fused window paid —
+// the caller's measure of how much amortization it got. Callers that
+// want key locality sort the batch first; ApplyBatch itself imposes no
+// order.
+type BatchSet interface {
+	ApplyBatch(tid int, ops []BatchOp, res []BatchResult) (rebrackets uint64)
+}
+
+// StepSet is the unbracketed single-op surface backing fusion: StepOp
+// runs one op assuming the caller already holds an open bracket for
+// tid (an smr.Window or a plain BeginOp). Structures that compose
+// other structures (the hashmap over its buckets) drive StepOp inside
+// their own fused window.
+type StepSet interface {
+	StepOp(tid int, kind BatchKind, key int64) (bool, error)
+}
+
+// RunBatch is the generic ApplyBatch: a fused window around per-op
+// StepOp calls. Structures without a cross-op predecessor cache use it
+// verbatim.
+func RunBatch(s smr.Scheme, set StepSet, tid int, ops []BatchOp, res []BatchResult) uint64 {
+	w := smr.BeginOps(s, tid, 0)
+	for i := range ops {
+		if i > 0 {
+			w.Step()
+		}
+		ok, err := set.StepOp(tid, ops[i].Kind, ops[i].Key)
+		res[i] = BatchResult{OK: ok, Err: err}
+	}
+	w.EndOps()
+	return w.Rebrackets()
+}

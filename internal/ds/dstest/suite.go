@@ -63,6 +63,32 @@ func RunSetSuite(t *testing.T, structure string) {
 				DisjointChurnSet(t, env, set, 2500, 48)
 				env.AssertSafe(t)
 			})
+			t.Run("batch", func(t *testing.T) {
+				envA, info := suiteEnv(t, scheme, structure, 1)
+				a, err := info.NewSet(envA.S, ds.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				envB, _ := suiteEnv(t, scheme, structure, 1)
+				b, err := info.NewSet(envB.S, ds.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				// 700-op batches overrun the K=512 fused window, so the
+				// mid-window re-bracket cadence runs under every scheme.
+				BatchEquivalenceSet(t, a, b, 6, 700, 96)
+				envA.AssertSafe(t)
+				envB.AssertSafe(t)
+			})
+			t.Run("batch-concurrent", func(t *testing.T) {
+				env, info := suiteEnv(t, scheme, structure, 4)
+				set, err := info.NewSet(env.S, ds.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ConcurrentBatchSet(t, env, set, 6, 600, 48)
+				env.AssertSafe(t)
+			})
 			t.Run("iterate", func(t *testing.T) {
 				env, info := suiteEnv(t, scheme, structure, 4)
 				set, err := info.NewSet(env.S, ds.Options{})

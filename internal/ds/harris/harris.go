@@ -67,6 +67,18 @@ const maxSteps = 1 << 22
 // iterBatch bounds how many keys one Iterate operation bracket emits.
 const iterBatch = 512
 
+// cursor caches the last validated predecessor across the ops of a
+// fused batch (ds.BatchSet), exactly like the in-op bounded-restart
+// anchor: within one smr bracket window the cached pred stays
+// protected, so the next op of a key-sorted batch starts its search
+// from it instead of the head. Invalidated at every bracket renewal.
+type cursor struct {
+	pred mem.Ref
+	key  int64 // pred's key, for the cu.key < key resume check
+	slot int   // scheme slot still protecting pred
+	ok   bool
+}
+
 type status uint8
 
 const (
@@ -92,39 +104,40 @@ const (
 // Protection slots rotate over {0,1,2}: pred is protected in sp, curr in
 // sc, and each new target is read into the remaining slot. steps is the
 // caller's operation-wide step budget.
-func (l *List) search(tid int, key int64, anchor mem.Ref, aslot int, steps *uint64) (pred, predNext, curr mem.Ref, predSlot int, st status) {
+func (l *List) search(tid int, key int64, anchor mem.Ref, anchorKey int64, aslot int, steps *uint64) (pred, predNext, curr mem.Ref, predKey int64, predSlot int, st status) {
 	sp := aslot
 	sc := (aslot + 1) % 3
 	pred = anchor
+	predKey = anchorKey
 	pn, ok := l.s.ReadPtr(tid, sc, pred, ds.WNext)
 	if !ok {
-		return mem.NilRef, mem.NilRef, mem.NilRef, 0, stRestart
+		return mem.NilRef, mem.NilRef, mem.NilRef, 0, 0, stRestart
 	}
 	if anchor == l.head {
 		l.Hit(tid, ds.PointSearchHead, uint64(key))
 	} else if pn.Marked() {
-		return mem.NilRef, mem.NilRef, mem.NilRef, 0, stAnchor
+		return mem.NilRef, mem.NilRef, mem.NilRef, 0, 0, stAnchor
 	}
 	predNext = pn
 	curr = pn.WithoutMark()
 	for {
 		if *steps++; *steps > maxSteps {
-			return mem.NilRef, mem.NilRef, mem.NilRef, 0, stGuard
+			return mem.NilRef, mem.NilRef, mem.NilRef, 0, 0, stGuard
 		}
 		if curr.IsNil() {
-			return mem.NilRef, mem.NilRef, mem.NilRef, 0, stCorrupt
+			return mem.NilRef, mem.NilRef, mem.NilRef, 0, 0, stCorrupt
 		}
 		l.Hit(tid, ds.PointSearchStep, uint64(curr))
 		sn := 3 - sp - sc
 		cn, ok := l.s.ReadPtr(tid, sn, curr, ds.WNext)
 		if !ok {
-			return mem.NilRef, mem.NilRef, mem.NilRef, 0, stRestart
+			return mem.NilRef, mem.NilRef, mem.NilRef, 0, 0, stRestart
 		}
 		if cn.Marked() {
 			// Logically deleted: traverse through without unlinking.
 			ckey, ok := l.s.Read(tid, curr, ds.WKey)
 			if !ok {
-				return mem.NilRef, mem.NilRef, mem.NilRef, 0, stRestart
+				return mem.NilRef, mem.NilRef, mem.NilRef, 0, 0, stRestart
 			}
 			l.Hit(tid, ds.PointSearchVisitMarked, ckey)
 			curr = cn.WithoutMark()
@@ -133,13 +146,14 @@ func (l *List) search(tid int, key int64, anchor mem.Ref, aslot int, steps *uint
 		}
 		ckey, ok := l.s.Read(tid, curr, ds.WKey)
 		if !ok {
-			return mem.NilRef, mem.NilRef, mem.NilRef, 0, stRestart
+			return mem.NilRef, mem.NilRef, mem.NilRef, 0, 0, stRestart
 		}
 		l.Hit(tid, ds.PointSearchVisit, ckey)
 		if int64(ckey) >= key {
-			return pred, predNext, curr, sp, stOK
+			return pred, predNext, curr, predKey, sp, stOK
 		}
 		pred, predNext = curr, cn
+		predKey = int64(ckey)
 		sp, sc = sc, sn
 		curr = cn.WithoutMark()
 	}
@@ -155,30 +169,38 @@ func (l *List) search(tid int, key int64, anchor mem.Ref, aslot int, steps *uint
 // long chain is not re-walked inside the same epoch-pinning bracket.
 // Scheme-requested rollbacks (stRestart) always rerun from the head: the
 // operation entry point is the rollback checkpoint.
-func (l *List) find(tid int, key int64) (pred, curr mem.Ref, err error) {
+// A non-nil cu resumes from the batch cursor when valid and records the
+// final validated pred back into it on success.
+func (l *List) find(tid int, key int64, cu *cursor) (pred, curr mem.Ref, err error) {
 	var steps, restarts, headRestarts uint64
 	defer func() { l.Trav.Record(steps, restarts, headRestarts) }()
-	anchor, aslot := l.head, 0
+	anchor, anchorKey, aslot := l.head, int64(ds.KeyMin), 0
+	if cu != nil {
+		if cu.ok && cu.key < key {
+			anchor, anchorKey, aslot = cu.pred, cu.key, cu.slot
+		}
+		cu.ok = false
+	}
 	rewind := func() {
-		anchor, aslot = l.head, 0
+		anchor, anchorKey, aslot = l.head, int64(ds.KeyMin), 0
 		restarts++
 		headRestarts++
 	}
-	resume := func(pred mem.Ref, pslot int) {
+	resume := func(pred mem.Ref, predKey int64, pslot int) {
 		restarts++
 		if l.Opt.HeadRestart {
-			anchor, aslot = l.head, 0
+			anchor, anchorKey, aslot = l.head, int64(ds.KeyMin), 0
 			headRestarts++
 			return
 		}
-		anchor, aslot = pred, pslot
+		anchor, anchorKey, aslot = pred, predKey, pslot
 	}
 	for {
 		if steps++; steps > maxSteps {
 			return mem.NilRef, mem.NilRef, l.GuardTrip("harris", "find", steps, restarts)
 		}
 		l.Phase(tid, ds.PhaseRead)
-		pred, predNext, curr, pslot, st := l.search(tid, key, anchor, aslot, &steps)
+		pred, predNext, curr, predKey, pslot, st := l.search(tid, key, anchor, anchorKey, aslot, &steps)
 		switch st {
 		case stGuard:
 			return mem.NilRef, mem.NilRef, l.GuardTrip("harris", "find", steps, restarts)
@@ -201,7 +223,7 @@ func (l *List) find(tid int, key int64) (pred, curr mem.Ref, err error) {
 				continue
 			}
 			if !swapped {
-				resume(pred, pslot)
+				resume(pred, predKey, pslot)
 				continue
 			}
 		}
@@ -212,8 +234,11 @@ func (l *List) find(tid int, key int64) (pred, curr mem.Ref, err error) {
 			continue
 		}
 		if mem.Ref(cn).Marked() {
-			resume(pred, pslot)
+			resume(pred, predKey, pslot)
 			continue
+		}
+		if cu != nil {
+			cu.pred, cu.key, cu.slot, cu.ok = pred, predKey, pslot, true
 		}
 		return pred, curr, nil
 	}
@@ -223,11 +248,17 @@ func (l *List) find(tid int, key int64) (pred, curr mem.Ref, err error) {
 func (l *List) Contains(tid int, key int64) (bool, error) {
 	l.s.BeginOp(tid)
 	defer l.s.EndOp(tid)
+	return l.containsAt(tid, key, nil)
+}
+
+// containsAt is Contains without the bracket: the caller holds an open
+// operation bracket for tid (per-op or a fused window).
+func (l *List) containsAt(tid int, key int64, cu *cursor) (bool, error) {
 	for retries := uint64(0); ; retries++ {
 		if retries > maxSteps {
 			return false, l.GuardTrip("harris", "contains", retries, retries)
 		}
-		_, curr, err := l.find(tid, key)
+		_, curr, err := l.find(tid, key, cu)
 		if err != nil {
 			return false, err
 		}
@@ -247,6 +278,11 @@ func (l *List) Contains(tid int, key int64) (bool, error) {
 func (l *List) Insert(tid int, key int64) (bool, error) {
 	l.s.BeginOp(tid)
 	defer l.s.EndOp(tid)
+	return l.insertAt(tid, key, nil)
+}
+
+// insertAt is Insert without the bracket.
+func (l *List) insertAt(tid int, key int64, cu *cursor) (bool, error) {
 	n, err := l.s.Alloc(tid)
 	if err != nil {
 		return false, err
@@ -256,7 +292,7 @@ func (l *List) Insert(tid int, key int64) (bool, error) {
 		if retries > maxSteps {
 			return false, l.GuardTrip("harris", "insert", retries, retries)
 		}
-		pred, curr, err := l.find(tid, key)
+		pred, curr, err := l.find(tid, key, cu)
 		if err != nil {
 			return false, err
 		}
@@ -292,11 +328,16 @@ func (l *List) Insert(tid int, key int64) (bool, error) {
 func (l *List) Delete(tid int, key int64) (bool, error) {
 	l.s.BeginOp(tid)
 	defer l.s.EndOp(tid)
+	return l.deleteAt(tid, key, nil)
+}
+
+// deleteAt is Delete without the bracket.
+func (l *List) deleteAt(tid int, key int64, cu *cursor) (bool, error) {
 	for retries := uint64(0); ; retries++ {
 		if retries > maxSteps {
 			return false, l.GuardTrip("harris", "delete", retries, retries)
 		}
-		pred, curr, err := l.find(tid, key)
+		pred, curr, err := l.find(tid, key, cu)
 		if err != nil {
 			return false, err
 		}
@@ -328,7 +369,7 @@ func (l *List) Delete(tid int, key int64) (bool, error) {
 		// this thread owns its retirement. Unlink it (paper line 50), or
 		// let a search do it (line 51), then retire (line 52).
 		if swapped, _ := l.s.CASPtr(tid, pred, ds.WNext, curr, succ); !swapped {
-			if _, _, err := l.find(tid, key); err != nil {
+			if _, _, err := l.find(tid, key, cu); err != nil {
 				return false, err
 			}
 		}
@@ -337,7 +378,55 @@ func (l *List) Delete(tid int, key int64) (bool, error) {
 	}
 }
 
-var _ ds.Iterator = (*List)(nil)
+var (
+	_ ds.Iterator = (*List)(nil)
+	_ ds.BatchSet = (*List)(nil)
+	_ ds.StepSet  = (*List)(nil)
+)
+
+// StepOp implements ds.StepSet: one unbracketed op under a
+// caller-held bracket, without the cross-op predecessor cache.
+func (l *List) StepOp(tid int, kind ds.BatchKind, key int64) (bool, error) {
+	switch kind {
+	case ds.BatchContains:
+		return l.containsAt(tid, key, nil)
+	case ds.BatchInsert:
+		return l.insertAt(tid, key, nil)
+	case ds.BatchDelete:
+		return l.deleteAt(tid, key, nil)
+	}
+	return false, ds.ErrBadBatchOp
+}
+
+// ApplyBatch implements ds.BatchSet: one fused bracket window over the
+// whole batch, carrying the validated-predecessor cursor across
+// consecutive ops so a key-sorted batch walks the chain once. The
+// cursor drops at every bracket renewal, and the stAnchor rule already
+// guards against a cached pred going marked between ops.
+func (l *List) ApplyBatch(tid int, ops []ds.BatchOp, res []ds.BatchResult) uint64 {
+	w := smr.BeginOps(l.s, tid, 0)
+	var cu cursor
+	for i := range ops {
+		if i > 0 && w.Step() {
+			cu.ok = false
+		}
+		var ok bool
+		var err error
+		switch ops[i].Kind {
+		case ds.BatchContains:
+			ok, err = l.containsAt(tid, ops[i].Key, &cu)
+		case ds.BatchInsert:
+			ok, err = l.insertAt(tid, ops[i].Key, &cu)
+		case ds.BatchDelete:
+			ok, err = l.deleteAt(tid, ops[i].Key, &cu)
+		default:
+			err = ds.ErrBadBatchOp
+		}
+		res[i] = ds.BatchResult{OK: ok, Err: err}
+	}
+	w.EndOps()
+	return w.Rebrackets()
+}
 
 // Iterate implements ds.Iterator: an ascending barrier-based scan that,
 // like search, traverses through marked runs without unlinking them.

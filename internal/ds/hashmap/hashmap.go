@@ -21,6 +21,7 @@ import (
 // Map is a fixed-bucket-count lock-free hash set.
 type Map struct {
 	name    string
+	s       smr.Scheme
 	buckets []ds.Set
 }
 
@@ -32,7 +33,7 @@ func New(s smr.Scheme, opt ds.Options, nbuckets int, kind string) (*Map, error) 
 	if nbuckets <= 0 {
 		nbuckets = 16
 	}
-	m := &Map{name: "hashmap-" + kind, buckets: make([]ds.Set, nbuckets)}
+	m := &Map{name: "hashmap-" + kind, s: s, buckets: make([]ds.Set, nbuckets)}
 	for i := range m.buckets {
 		var b ds.Set
 		var err error
@@ -73,7 +74,29 @@ func (m *Map) Contains(tid int, key int64) (bool, error) { return m.bucket(key).
 var (
 	_ ds.Iterator     = (*Map)(nil)
 	_ ds.TravReporter = (*Map)(nil)
+	_ ds.BatchSet     = (*Map)(nil)
+	_ ds.StepSet      = (*Map)(nil)
 )
+
+// StepOp implements ds.StepSet by delegating to the target bucket's
+// unbracketed op — all buckets share the map's single SMR domain, so a
+// caller-held bracket covers whichever bucket the key routes to.
+func (m *Map) StepOp(tid int, kind ds.BatchKind, key int64) (bool, error) {
+	b, ok := m.bucket(key).(ds.StepSet)
+	if !ok {
+		return false, ds.ErrCorrupted // unreachable: both bucket kinds implement StepSet
+	}
+	return b.StepOp(tid, kind, key)
+}
+
+// ApplyBatch implements ds.BatchSet: one fused window over the shared
+// scheme, stepping each op into its bucket. Cross-op predecessor
+// caching does not apply (consecutive sorted keys usually hash to
+// different buckets), so the win here is bracket amortization over
+// short chains.
+func (m *Map) ApplyBatch(tid int, ops []ds.BatchOp, res []ds.BatchResult) uint64 {
+	return ds.RunBatch(m.s, m, tid, ops, res)
+}
 
 // Iterate implements ds.Iterator by sweeping the buckets in index order.
 // Emission is monotonic per bucket rather than globally ascending; since a

@@ -60,6 +60,21 @@ const maxSteps = 1 << 22
 // epoch for the whole structure.
 const iterBatch = 512
 
+// cursor caches the last validated predecessor across the ops of a
+// fused batch (ds.BatchSet). Within one smr bracket window the cached
+// pred stays protected — no EndOp ran since it was read — so the next
+// op of a key-sorted batch resumes its traversal from it instead of
+// from the head, turning k ops into one amortized sweep. The cache is
+// only consulted when cu.key < key (pred strictly precedes the new
+// target) and is invalidated at every bracket renewal, where hazard
+// slots may be cleared and the pinned epoch released.
+type cursor struct {
+	pred mem.Ref
+	key  int64 // pred's key, for the cu.key < key resume check
+	slot int   // scheme slot still protecting pred
+	ok   bool
+}
+
 // find locates the window (pred, curr) for key: curr is the first unmarked
 // node with key >= key and pred directly precedes it. Marked nodes are
 // unlinked one at a time as they are met — never traversed through (the
@@ -78,13 +93,23 @@ const iterBatch = 512
 // rollbacks (ok == false) always rewind to the head: per the smr contract
 // the operation must drop every reference it obtained and restart from
 // its entry point.
-func (l *List) find(tid int, key int64) (pred, curr mem.Ref, err error) {
+// A non-nil cu resumes from the batch cursor when valid and records the
+// final validated pred back into it on success.
+func (l *List) find(tid int, key int64, cu *cursor) (pred, curr mem.Ref, err error) {
 	var steps, restarts, headRestarts uint64
 	defer func() { l.Trav.Record(steps, restarts, headRestarts) }()
 	sp, sc := 0, 1
 	pred = l.head
+	predKey := int64(ds.KeyMin)
+	if cu != nil {
+		if cu.ok && cu.key < key {
+			pred, predKey, sp = cu.pred, cu.key, cu.slot
+			sc = (sp + 1) % 3
+		}
+		cu.ok = false
+	}
 	rewind := func() {
-		pred, sp, sc = l.head, 0, 1
+		pred, predKey, sp, sc = l.head, int64(ds.KeyMin), 0, 1
 		restarts++
 		headRestarts++
 	}
@@ -139,7 +164,7 @@ retry:
 					// top) instead of rewinding the whole chain.
 					restarts++
 					if l.Opt.HeadRestart {
-						pred, sp, sc = l.head, 0, 1
+						pred, predKey, sp, sc = l.head, int64(ds.KeyMin), 0, 1
 						headRestarts++
 					}
 					continue retry
@@ -156,9 +181,13 @@ retry:
 			}
 			l.Hit(tid, ds.PointSearchVisit, ckey)
 			if int64(ckey) >= key {
+				if cu != nil {
+					cu.pred, cu.key, cu.slot, cu.ok = pred, predKey, sp, true
+				}
 				return pred, curr, nil
 			}
 			pred = curr
+			predKey = int64(ckey)
 			sp, sc = sc, sn
 			curr = cn.WithoutMark()
 		}
@@ -169,8 +198,14 @@ retry:
 func (l *List) Contains(tid int, key int64) (bool, error) {
 	l.s.BeginOp(tid)
 	defer l.s.EndOp(tid)
+	return l.containsAt(tid, key, nil)
+}
+
+// containsAt is Contains without the bracket: the caller holds an open
+// operation bracket for tid (per-op or a fused window).
+func (l *List) containsAt(tid int, key int64, cu *cursor) (bool, error) {
 	for {
-		_, curr, err := l.find(tid, key)
+		_, curr, err := l.find(tid, key, cu)
 		if err != nil {
 			return false, err
 		}
@@ -190,13 +225,18 @@ func (l *List) Contains(tid int, key int64) (bool, error) {
 func (l *List) Insert(tid int, key int64) (bool, error) {
 	l.s.BeginOp(tid)
 	defer l.s.EndOp(tid)
+	return l.insertAt(tid, key, nil)
+}
+
+// insertAt is Insert without the bracket.
+func (l *List) insertAt(tid int, key int64, cu *cursor) (bool, error) {
 	n, err := l.s.Alloc(tid)
 	if err != nil {
 		return false, err
 	}
 	l.s.Write(tid, n, ds.WKey, uint64(key))
 	for {
-		pred, curr, err := l.find(tid, key)
+		pred, curr, err := l.find(tid, key, cu)
 		if err != nil {
 			return false, err
 		}
@@ -232,8 +272,13 @@ func (l *List) Insert(tid int, key int64) (bool, error) {
 func (l *List) Delete(tid int, key int64) (bool, error) {
 	l.s.BeginOp(tid)
 	defer l.s.EndOp(tid)
+	return l.deleteAt(tid, key, nil)
+}
+
+// deleteAt is Delete without the bracket.
+func (l *List) deleteAt(tid int, key int64, cu *cursor) (bool, error) {
 	for {
-		pred, curr, err := l.find(tid, key)
+		pred, curr, err := l.find(tid, key, cu)
 		if err != nil {
 			return false, err
 		}
@@ -262,7 +307,7 @@ func (l *List) Delete(tid int, key int64) (bool, error) {
 		}
 		// Linearized. Unlink (or let a traversal do it), then retire.
 		if swapped, _ := l.s.CASPtr(tid, pred, ds.WNext, curr, succ); !swapped {
-			if _, _, err := l.find(tid, key); err != nil {
+			if _, _, err := l.find(tid, key, cu); err != nil {
 				return false, err
 			}
 		}
@@ -271,7 +316,56 @@ func (l *List) Delete(tid int, key int64) (bool, error) {
 	}
 }
 
-var _ ds.Iterator = (*List)(nil)
+var (
+	_ ds.Iterator = (*List)(nil)
+	_ ds.BatchSet = (*List)(nil)
+	_ ds.StepSet  = (*List)(nil)
+)
+
+// StepOp implements ds.StepSet: one unbracketed op under a
+// caller-held bracket, without the cross-op predecessor cache.
+func (l *List) StepOp(tid int, kind ds.BatchKind, key int64) (bool, error) {
+	switch kind {
+	case ds.BatchContains:
+		return l.containsAt(tid, key, nil)
+	case ds.BatchInsert:
+		return l.insertAt(tid, key, nil)
+	case ds.BatchDelete:
+		return l.deleteAt(tid, key, nil)
+	}
+	return false, ds.ErrBadBatchOp
+}
+
+// ApplyBatch implements ds.BatchSet: one fused bracket window over the
+// whole batch, with the validated-predecessor cursor carried across
+// consecutive ops so a key-sorted batch walks the chain once. The
+// cursor drops at every bracket renewal (Step returning true): the
+// renewal may clear hazard slots or release the pinned epoch, so the
+// cached pred is no longer certifiably protected.
+func (l *List) ApplyBatch(tid int, ops []ds.BatchOp, res []ds.BatchResult) uint64 {
+	w := smr.BeginOps(l.s, tid, 0)
+	var cu cursor
+	for i := range ops {
+		if i > 0 && w.Step() {
+			cu.ok = false
+		}
+		var ok bool
+		var err error
+		switch ops[i].Kind {
+		case ds.BatchContains:
+			ok, err = l.containsAt(tid, ops[i].Key, &cu)
+		case ds.BatchInsert:
+			ok, err = l.insertAt(tid, ops[i].Key, &cu)
+		case ds.BatchDelete:
+			ok, err = l.deleteAt(tid, ops[i].Key, &cu)
+		default:
+			err = ds.ErrBadBatchOp
+		}
+		res[i] = ds.BatchResult{OK: ok, Err: err}
+	}
+	w.EndOps()
+	return w.Rebrackets()
+}
 
 // Iterate implements ds.Iterator: an ascending barrier-based scan.
 // Emission is monotonic — each chunk only reports keys greater than the

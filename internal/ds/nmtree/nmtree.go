@@ -362,6 +362,12 @@ func (t *Tree) retireChain(tid int, r *seekRec, parentKeepWord int) bool {
 func (t *Tree) Contains(tid int, key int64) (bool, error) {
 	t.s.BeginOp(tid)
 	defer t.s.EndOp(tid)
+	return t.containsAt(tid, key)
+}
+
+// containsAt is Contains without the bracket: the caller holds an open
+// operation bracket for tid (per-op or a fused window).
+func (t *Tree) containsAt(tid int, key int64) (bool, error) {
 	var r seekRec
 	var steps, restarts uint64
 	defer func() { t.Trav.Record(steps, restarts, restarts) }()
@@ -384,11 +390,16 @@ func (t *Tree) Contains(tid int, key int64) (bool, error) {
 // Insert implements ds.Set: replace the reached leaf with a fresh internal
 // node routing to {new leaf, old leaf}.
 func (t *Tree) Insert(tid int, key int64) (bool, error) {
+	t.s.BeginOp(tid)
+	defer t.s.EndOp(tid)
+	return t.insertAt(tid, key)
+}
+
+// insertAt is Insert without the bracket.
+func (t *Tree) insertAt(tid int, key int64) (bool, error) {
 	if key >= inf1 {
 		return false, ds.ErrCorrupted // sentinel key space
 	}
-	t.s.BeginOp(tid)
-	defer t.s.EndOp(tid)
 	newLeaf, err := t.s.Alloc(tid)
 	if err != nil {
 		return false, err
@@ -470,6 +481,11 @@ func (t *Tree) Insert(tid int, key int64) (bool, error) {
 func (t *Tree) Delete(tid int, key int64) (bool, error) {
 	t.s.BeginOp(tid)
 	defer t.s.EndOp(tid)
+	return t.deleteAt(tid, key)
+}
+
+// deleteAt is Delete without the bracket.
+func (t *Tree) deleteAt(tid int, key int64) (bool, error) {
 	var r seekRec
 	injected := false
 	var victim mem.Ref
@@ -547,7 +563,31 @@ const (
 	itGuard          // traversal step budget exhausted
 )
 
-var _ ds.Iterator = (*Tree)(nil)
+var (
+	_ ds.Iterator = (*Tree)(nil)
+	_ ds.BatchSet = (*Tree)(nil)
+	_ ds.StepSet  = (*Tree)(nil)
+)
+
+// StepOp implements ds.StepSet: one unbracketed op under a caller-held
+// bracket. Seeks restart from the root, so batching buys bracket
+// amortization only.
+func (t *Tree) StepOp(tid int, kind ds.BatchKind, key int64) (bool, error) {
+	switch kind {
+	case ds.BatchContains:
+		return t.containsAt(tid, key)
+	case ds.BatchInsert:
+		return t.insertAt(tid, key)
+	case ds.BatchDelete:
+		return t.deleteAt(tid, key)
+	}
+	return false, ds.ErrBadBatchOp
+}
+
+// ApplyBatch implements ds.BatchSet via the generic fused window.
+func (t *Tree) ApplyBatch(tid int, ops []ds.BatchOp, res []ds.BatchResult) uint64 {
+	return ds.RunBatch(t.s, t, tid, ops, res)
+}
 
 // Iterate implements ds.Iterator: an in-order barrier-based DFS over the
 // leaves. Emission is monotonic — only leaf keys greater than the cursor

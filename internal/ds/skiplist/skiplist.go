@@ -251,6 +251,12 @@ retry:
 func (l *List) Contains(tid int, key int64) (bool, error) {
 	l.s.BeginOp(tid)
 	defer l.s.EndOp(tid)
+	return l.containsAt(tid, key)
+}
+
+// containsAt is Contains without the bracket: the caller holds an open
+// operation bracket for tid (per-op or a fused window).
+func (l *List) containsAt(tid int, key int64) (bool, error) {
 	var preds, succs [MaxHeight]mem.Ref
 	for {
 		l.Phase(tid, ds.PhaseRead)
@@ -270,6 +276,11 @@ func (l *List) Contains(tid int, key int64) (bool, error) {
 func (l *List) Insert(tid int, key int64) (bool, error) {
 	l.s.BeginOp(tid)
 	defer l.s.EndOp(tid)
+	return l.insertAt(tid, key)
+}
+
+// insertAt is Insert without the bracket.
+func (l *List) insertAt(tid int, key int64) (bool, error) {
 	height := randomHeight(tid, key)
 	n, err := l.s.Alloc(tid)
 	if err != nil {
@@ -377,6 +388,11 @@ func (l *List) linkUpper(tid int, key int64, n mem.Ref, height int, preds, succs
 func (l *List) Delete(tid int, key int64) (bool, error) {
 	l.s.BeginOp(tid)
 	defer l.s.EndOp(tid)
+	return l.deleteAt(tid, key)
+}
+
+// deleteAt is Delete without the bracket.
+func (l *List) deleteAt(tid int, key int64) (bool, error) {
 	var preds, succs [MaxHeight]mem.Ref
 	for {
 		l.Phase(tid, ds.PhaseRead)
@@ -448,7 +464,32 @@ func (l *List) Delete(tid int, key int64) (bool, error) {
 	}
 }
 
-var _ ds.Iterator = (*List)(nil)
+var (
+	_ ds.Iterator = (*List)(nil)
+	_ ds.BatchSet = (*List)(nil)
+	_ ds.StepSet  = (*List)(nil)
+)
+
+// StepOp implements ds.StepSet: one unbracketed op under a caller-held
+// bracket. The skip list has no cross-op predecessor cache (its find
+// re-derives the full preds/succs frontier per key), so batching buys
+// bracket amortization only.
+func (l *List) StepOp(tid int, kind ds.BatchKind, key int64) (bool, error) {
+	switch kind {
+	case ds.BatchContains:
+		return l.containsAt(tid, key)
+	case ds.BatchInsert:
+		return l.insertAt(tid, key)
+	case ds.BatchDelete:
+		return l.deleteAt(tid, key)
+	}
+	return false, ds.ErrBadBatchOp
+}
+
+// ApplyBatch implements ds.BatchSet via the generic fused window.
+func (l *List) ApplyBatch(tid int, ops []ds.BatchOp, res []ds.BatchResult) uint64 {
+	return ds.RunBatch(l.s, l, tid, ops, res)
+}
 
 // Iterate implements ds.Iterator: an ascending barrier-based walk along
 // level 0, skipping marked nodes without snipping them. Emission is

@@ -569,6 +569,12 @@ func (ex *Executor) SubmitCallback(req workload.Req, fn func(*Result)) (*Handle,
 				continue
 			}
 			lo := offs[s] - count[s]
+			// Key-sort each leg in place so the shard worker's fused path
+			// sees ascending keys and its predecessor cache holds across
+			// consecutive ops; idx travels with its op, so results still
+			// land at the caller's positions. The sort is stable, which
+			// preserves submission order between duplicate keys.
+			sortLeg(opsFlat[lo:offs[s]], idxFlat[lo:offs[s]])
 			legs = append(legs, leg{
 				h: h, shard: s, kind: kind,
 				ops: opsFlat[lo:offs[s]], idx: idxFlat[lo:offs[s]],
@@ -615,6 +621,26 @@ func (ex *Executor) SubmitCallback(req workload.Req, fn func(*Result)) (*Handle,
 	}
 	ex.mu.RUnlock()
 	return h, nil
+}
+
+// sortLeg stable-sorts one leg's (ops, idx) segment by key with a plain
+// insertion sort: zero allocations, O(n) on the nearly-sorted segments
+// sequential key generators produce, and legs are small (a request's keys
+// divided across shards). Strict > comparison keeps duplicate keys in
+// submission order.
+func sortLeg(ops []store.Op, idx []int) {
+	for i := 1; i < len(ops); i++ {
+		op, ix := ops[i], idx[i]
+		j := i
+		for j > 0 && ops[j-1].Key > op.Key {
+			ops[j] = ops[j-1]
+			idx[j] = idx[j-1]
+			j--
+		}
+		if j != i {
+			ops[j], idx[j] = op, ix
+		}
+	}
 }
 
 // multiOpKind maps a multi-key request kind to its per-key operation.
@@ -883,6 +909,9 @@ func (ex *Executor) finish(q *shardQueue, c *call, o legOut) {
 			// hedge loser, discarded.
 			q.hedgeWaste.Add(1)
 		}
+		if l.scan {
+			store.RecycleScanKeys(o.keys)
+		}
 		return
 	}
 	if hp := ex.cfg.Hedge; hp != nil {
@@ -897,6 +926,8 @@ func (ex *Executor) finish(q *shardQueue, c *call, o legOut) {
 	}
 	if l.scan {
 		l.h.mergeScan(o.keys, o.count)
+		// mergeScan copies, so the shard's pooled key buffer goes back.
+		store.RecycleScanKeys(o.keys)
 	} else if c.out != nil {
 		for i, r := range o.res {
 			l.h.res.Results[l.idx[i]] = r

@@ -158,6 +158,14 @@ func (r *Registry) WriteMetrics(w io.Writer) error {
 			func(s store.ShardStats) float64 { return float64(s.MaxOpSteps) }},
 		{"era_shard_swap_window_ns", "gauge", "Last migration's admission-stop-to-attach window.",
 			func(s store.ShardStats) float64 { return float64(s.SwapWindowNanos) }},
+		{"era_batch_fused_total", "counter", "Request batches served under one amortized SMR bracket.",
+			func(s store.ShardStats) float64 { return float64(s.FusedBatches) }},
+		{"era_batch_fused_ops_total", "counter", "Operations executed inside fused batch windows.",
+			func(s store.ShardStats) float64 { return float64(s.FusedOps) }},
+		{"era_batch_rebrackets_total", "counter", "Mid-window bracket renewals forced by the K-op cadence.",
+			func(s store.ShardStats) float64 { return float64(s.Rebrackets) }},
+		{"era_batch_sorts_total", "counter", "Fused batches the worker had to key-sort before execution.",
+			func(s store.ShardStats) float64 { return float64(s.BatchSorts) }},
 	} {
 		fam := r.family(w, g.name, g.typ, g.help)
 		for _, s := range stats.Shards {

@@ -125,6 +125,11 @@ const (
 	// Label = the transition's reason ("verdict not-robust",
 	// "failure ewma 0.83", "probes ok", ...).
 	KindBreaker
+	// KindBatchWindow records one fused batch window executed by a shard
+	// worker: A = operations served under the window's amortized SMR
+	// bracket, B = mid-window re-brackets (epoch/slot renewals) the
+	// window's K-cadence forced.
+	KindBatchWindow
 	kindCount
 )
 
@@ -149,6 +154,7 @@ var kindNames = [kindCount]string{
 	KindHedge:          "hedge",
 	KindRetry:          "retry",
 	KindBreaker:        "breaker",
+	KindBatchWindow:    "batch-window",
 }
 
 // String returns the kind's wire name.

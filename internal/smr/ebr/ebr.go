@@ -77,6 +77,14 @@ func (e *EBR) EndOp(tid int) {
 	e.announce[tid].word.Store(e.epoch.Load() << 1)
 }
 
+// Rebracket renews the bracket inside a fused window with one store:
+// re-announcing the current epoch is exactly EndOp followed by BeginOp
+// (the transient quiescent announcement between them is unobservable —
+// reclaimers only compare announced epochs against the grace bound).
+func (e *EBR) Rebracket(tid int) {
+	e.announce[tid].word.Store(e.epoch.Load()<<1 | 1)
+}
+
 // tryAdvance increments the global epoch if every active thread has
 // announced it.
 func (e *EBR) tryAdvance() {

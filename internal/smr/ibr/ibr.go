@@ -93,6 +93,16 @@ func (i *IBR) EndOp(tid int) {
 	i.resv[tid].upper.Store(noReservation)
 }
 
+// Rebracket renews the bracket inside a fused window: collapse the
+// reservation interval back to the current era (two stores instead of
+// EndOp+BeginOp's four). Nodes retired before the renewal stop being
+// covered, exactly as if the thread had gone quiescent and restarted.
+func (i *IBR) Rebracket(tid int) {
+	e := i.era.Load()
+	i.resv[tid].lower.Store(e)
+	i.resv[tid].upper.Store(e)
+}
+
 // Alloc stamps the node's birth era and advances the era every epochFreq
 // allocations.
 func (i *IBR) Alloc(tid int) (mem.Ref, error) {

@@ -93,6 +93,25 @@ func (p *PEBR) EndOp(tid int) {
 	p.announce[tid].word.Store(p.epoch.Load() << 1)
 }
 
+// Rebracket renews the bracket inside a fused window: re-announce the
+// current epoch and re-arm the ejection state, same effect as
+// EndOp+BeginOp in two stores fewer. A thread ejected mid-window
+// rejoins here, which is exactly the per-op behaviour.
+func (p *PEBR) Rebracket(tid int) {
+	p.eject[tid].flag.Store(false)
+	p.eject[tid].stuck.Store(0)
+	p.announce[tid].word.Store(p.epoch.Load()<<1 | 1)
+}
+
+// FusedWindowCap bounds the fused cadence: the ejection protocol reads
+// a long-held active announcement as a stalled thread, so a fleet of
+// wide fused windows keeps every thread's stuck counter past EjectAfter
+// and the whole batch degenerates into rollback storms (observed as
+// traversal-guard trips on the skip list). Re-announcing every few ops
+// keeps announcements fresh enough that ejections stay what they are
+// meant to be — a response to genuinely stalled threads.
+func (p *PEBR) FusedWindowCap() int { return 2 * EjectAfter }
+
 // tryAdvance advances the epoch if every active thread announced it,
 // ejecting threads that have blocked advancement EjectAfter times in a
 // row. Ejected threads stop counting as blockers.

@@ -79,6 +79,14 @@ func (q *QSBR) EndOp(tid int) {
 	q.quiescent[tid].word.Store((w>>1 + 1) << 1)
 }
 
+// Rebracket renews the bracket inside a fused window with one store:
+// bump the quiescence counter (proving a pass through a quiescent
+// state, which is what grace periods wait for) while staying online.
+func (q *QSBR) Rebracket(tid int) {
+	w := q.quiescent[tid].word.Load()
+	q.quiescent[tid].word.Store((w>>1+1)<<1 | 1)
+}
+
 // Alloc implements smr.Scheme.
 func (q *QSBR) Alloc(tid int) (mem.Ref, error) { return q.Arena.Alloc(tid) }
 

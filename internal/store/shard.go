@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/ds"
 	"repro/internal/mem"
+	"repro/internal/obs/rec"
 	"repro/internal/smr"
 	"repro/internal/workload"
 )
@@ -37,17 +38,53 @@ type request struct {
 	scan *scanRequest
 }
 
-// complete publishes the request's results to its submitter: the
+// reqPool recycles request envelopes across every submission path: the
+// worker returns each envelope after serving it, so steady-state
+// Do/DoShardAsync traffic allocates nothing per request.
+var reqPool = sync.Pool{New: func() any { return new(request) }}
+
+// newRequest returns a cleared request envelope from the pool.
+func newRequest() *request { return reqPool.Get().(*request) }
+
+// finish publishes the request's results to its submitter — the
 // blocking paths park on the WaitGroup, the async paths get their
-// callback run right here on the worker.
-func (r *request) complete() {
-	if r.wg != nil {
-		r.wg.Done()
+// callback run right here on the worker — and returns the envelope to
+// the pool. The envelope is stripped *before* the completion signal:
+// once wg.Done/done runs, the submitter may recycle its own buffers
+// and the pool may hand the envelope to any other submitter, so
+// nothing may touch req afterwards.
+func finish(req *request) {
+	wg, done := req.wg, req.done
+	*req = request{}
+	reqPool.Put(req)
+	if wg != nil {
+		wg.Done()
 		return
 	}
-	if r.done != nil {
-		r.done()
+	if done != nil {
+		done()
 	}
+}
+
+// scanKeyPool recycles range-leg key buffers (see RecycleScanKeys), so
+// range-heavy mixes stop churning the GC with one fresh slice per leg.
+var scanKeyPool = sync.Pool{New: func() any { b := make([]int64, 0, 512); return &b }}
+
+// maxRetainedScanCap bounds the capacity RecycleScanKeys keeps: a leg
+// that ballooned past it is left to the GC instead of pinning its
+// memory in the pool forever.
+const maxRetainedScanCap = 1 << 16
+
+// RecycleScanKeys returns a key slice obtained from ScanShard /
+// ScanShardAsync to the scan-buffer pool. Recycling is optional —
+// callers that drop the slice just pay GC churn — but a caller that
+// recycles must not touch the slice afterwards.
+func RecycleScanKeys(keys []int64) {
+	if keys == nil || cap(keys) > maxRetainedScanCap {
+		return
+	}
+	b := keys[:0]
+	scanKeyPool.Put(&b)
 }
 
 // scanRequest is one range leg: the half-open key interval, an optional
@@ -75,6 +112,9 @@ func (sc *scanRequest) run(sh *shard, tid int) {
 		sc.err = fmt.Errorf("store: %s does not implement ds.Iterator", sh.set.Name())
 		return
 	}
+	if !sc.countOnly && sc.keys == nil {
+		sc.keys = (*scanKeyPool.Get().(*[]int64))[:0]
+	}
 	sc.err = it.Iterate(tid, func(k int64) bool {
 		if k >= sc.hi {
 			// Ascending emission: no later key can fall back inside the
@@ -94,12 +134,19 @@ func (sc *scanRequest) run(sh *shard, tid int) {
 
 // opStripe is one worker's share of the shard's service counters, padded
 // to a cache line so neighbouring workers never share (the mem.Stats
-// treatment applied one layer up).
+// treatment applied one layer up). The worker accumulates a whole
+// request's deltas locally and publishes each touched counter once per
+// request, so the hot loop carries no per-op atomics.
 type opStripe struct {
 	ops  atomic.Uint64 // operations completed
 	hits atomic.Uint64 // operations returning true
 	errs atomic.Uint64 // operations returning an error
-	_    [40]byte
+	// Fused-window accounting (the batch-fusion hot path).
+	fusedBatches atomic.Uint64 // point-op batches served through ApplyBatch
+	fusedOps     atomic.Uint64 // operations inside those batches
+	rebrackets   atomic.Uint64 // bracket renewals fused windows paid
+	batchSorts   atomic.Uint64 // batches the worker had to key-sort
+	_            [8]byte
 }
 
 // shard is one service partition: a private heap, a private SMR domain,
@@ -120,6 +167,12 @@ type shard struct {
 	// the interval's upper bound; partitioned structures are only ordered
 	// per bucket and must sweep fully.
 	ordered bool
+	// batch is the structure's fused fast path, nil when the structure
+	// does not implement ds.BatchSet or the spec set NoFuse.
+	batch ds.BatchSet
+	// rec is the flight recorder (nil-safe), for sparse fused-window
+	// events.
+	rec *rec.Recorder
 
 	reqs chan *request
 	wg   sync.WaitGroup
@@ -129,11 +182,48 @@ type shard struct {
 	stripes []opStripe
 }
 
+// workerScratch is one worker's long-lived batch-conversion state:
+// the fused path copies each request into these buffers (so sorting
+// never mutates caller memory) and reuses them request after request —
+// the steady-state serving path allocates nothing.
+type workerScratch struct {
+	ops []ds.BatchOp
+	pos []int
+	res []ds.BatchResult
+}
+
+func (sc *workerScratch) size(n int) {
+	if cap(sc.ops) < n {
+		sc.ops = make([]ds.BatchOp, 0, 2*n)
+		sc.pos = make([]int, 0, 2*n)
+		sc.res = make([]ds.BatchResult, 0, 2*n)
+	}
+}
+
+// sortBatch stable-insertion-sorts the batch by key in place, carrying
+// the result positions along. Stability preserves per-key op order,
+// which is what makes the sorted execution result-identical to the
+// serial loop (point ops on distinct keys commute). Service batches are
+// small and exec legs arrive pre-sorted, so insertion sort — the only
+// stable zero-alloc sort — is the right tool.
+func sortBatch(ops []ds.BatchOp, pos []int) {
+	for i := 1; i < len(ops); i++ {
+		op, p := ops[i], pos[i]
+		j := i
+		for j > 0 && ops[j-1].Key > op.Key {
+			ops[j], pos[j] = ops[j-1], pos[j-1]
+			j--
+		}
+		ops[j], pos[j] = op, p
+	}
+}
+
 // worker executes requests with scheme thread id tid. The tid doubles as
 // the stripe index, so the hot counters never contend.
 func (sh *shard) worker(tid int) {
 	defer sh.wg.Done()
 	stripe := &sh.stripes[tid]
+	var scratch workerScratch
 	for req := range sh.reqs {
 		if req.scan != nil {
 			// A range leg counts as one operation for progress accounting
@@ -143,9 +233,62 @@ func (sh *shard) worker(tid int) {
 			if req.scan.err != nil {
 				stripe.errs.Add(1)
 			}
-			req.complete()
+			finish(req)
 			continue
 		}
+		sh.serve(tid, stripe, req, &scratch)
+		finish(req)
+	}
+}
+
+// serve executes one point-op request: through the structure's fused
+// ApplyBatch when it has one (one amortized SMR bracket for the whole
+// batch, key-sorted for predecessor locality), falling back to the
+// per-op loop otherwise. Either way the stripe counters are published
+// once per request, not per op.
+func (sh *shard) serve(tid int, stripe *opStripe, req *request, scratch *workerScratch) {
+	var hits, errs uint64
+	n := len(req.ops)
+	if sh.batch != nil && n > 1 && batchable(req.ops) {
+		scratch.size(n)
+		bops := scratch.ops[:n]
+		pos := scratch.pos[:n]
+		bres := scratch.res[:n]
+		sorted := true
+		for i, op := range req.ops {
+			// The kind spaces line up by construction (ds.BatchKind
+			// mirrors workload.Op), so conversion is a cast.
+			bops[i] = ds.BatchOp{Kind: ds.BatchKind(op.Kind), Key: op.Key}
+			if req.idx != nil {
+				pos[i] = req.idx[i]
+			} else {
+				pos[i] = i
+			}
+			if i > 0 && op.Key < req.ops[i-1].Key {
+				sorted = false
+			}
+		}
+		if !sorted {
+			sortBatch(bops, pos)
+			stripe.batchSorts.Add(1)
+		}
+		rb := sh.batch.ApplyBatch(tid, bops, bres)
+		for i := range bres {
+			req.res[pos[i]] = Result{OK: bres[i].OK, Err: bres[i].Err}
+			if bres[i].OK {
+				hits++
+			}
+			if bres[i].Err != nil {
+				errs++
+			}
+		}
+		stripe.fusedBatches.Add(1)
+		stripe.fusedOps.Add(uint64(n))
+		if rb > 0 {
+			stripe.rebrackets.Add(rb)
+			sh.rec.Record(rec.KindBatchWindow, sh.id, tid, uint64(n), rb, "")
+		}
+	} else {
 		for i, op := range req.ops {
 			var ok bool
 			var err error
@@ -164,16 +307,33 @@ func (sh *shard) worker(tid int) {
 				pos = req.idx[i]
 			}
 			req.res[pos] = Result{OK: ok, Err: err}
-			stripe.ops.Add(1)
 			if ok {
-				stripe.hits.Add(1)
+				hits++
 			}
 			if err != nil {
-				stripe.errs.Add(1)
+				errs++
 			}
 		}
-		req.complete()
 	}
+	stripe.ops.Add(uint64(n))
+	if hits > 0 {
+		stripe.hits.Add(hits)
+	}
+	if errs > 0 {
+		stripe.errs.Add(errs)
+	}
+}
+
+// batchable reports that every op kind is in the set vocabulary, so the
+// fused path can run the whole batch; a malformed kind falls back to
+// the serial loop, which reports the store's per-op error for it.
+func batchable(ops []Op) bool {
+	for _, op := range ops {
+		if op.Kind > workload.OpDelete {
+			return false
+		}
+	}
+	return true
 }
 
 // opCount sums the shard's op stripes — the progress signal await's
@@ -330,6 +490,10 @@ func (sh *shard) stats() ShardStats {
 		s.Ops += st.ops.Load()
 		s.Hits += st.hits.Load()
 		s.Errs += st.errs.Load()
+		s.FusedBatches += st.fusedBatches.Load()
+		s.FusedOps += st.fusedOps.Load()
+		s.Rebrackets += st.rebrackets.Load()
+		s.BatchSorts += st.batchSorts.Load()
 	}
 	a := sh.arena.Stats().Snapshot()
 	s.Retired = a.Retired

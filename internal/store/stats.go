@@ -25,6 +25,16 @@ type ShardStats struct {
 	Hits uint64 `json:"hits"`
 	Errs uint64 `json:"errs"`
 
+	// Batch-fusion counters. FusedBatches counts request batches served
+	// under one amortized SMR bracket, FusedOps the operations inside
+	// them, Rebrackets the mid-window epoch/slot renewals the K-cadence
+	// forced, and BatchSorts the batches the worker had to key-sort
+	// before fusing (pre-sorted submissions skip the sort).
+	FusedBatches uint64 `json:"fused_batches"`
+	FusedOps     uint64 `json:"fused_ops"`
+	Rebrackets   uint64 `json:"rebrackets"`
+	BatchSorts   uint64 `json:"batch_sorts"`
+
 	// Heap counters: the retired backlog is the robustness observable,
 	// the fault/unsafe counters the safety observable. MaxActive is the
 	// paper's max_active — the budget the robustness definitions bound
@@ -75,6 +85,10 @@ type Stats struct {
 	Ops            uint64 `json:"ops"`
 	Hits           uint64 `json:"hits"`
 	Errs           uint64 `json:"errs"`
+	FusedBatches   uint64 `json:"fused_batches"`
+	FusedOps       uint64 `json:"fused_ops"`
+	Rebrackets     uint64 `json:"rebrackets"`
+	BatchSorts     uint64 `json:"batch_sorts"`
 	Retired        uint64 `json:"retired"`
 	MaxRetired     uint64 `json:"max_retired"`
 	MaxActive      uint64 `json:"max_active"`
@@ -118,6 +132,10 @@ func (st *Store) Stats() Stats {
 		s.Ops += ss.Ops
 		s.Hits += ss.Hits
 		s.Errs += ss.Errs
+		s.FusedBatches += ss.FusedBatches
+		s.FusedOps += ss.FusedOps
+		s.Rebrackets += ss.Rebrackets
+		s.BatchSorts += ss.BatchSorts
 		s.Retired += ss.Retired
 		s.MaxRetired += ss.MaxRetired
 		s.MaxActive += ss.MaxActive

@@ -71,6 +71,11 @@ type ShardSpec struct {
 	// head-restart finds (ds.Options.HeadRestart) — the restart-storm
 	// baseline arm of the traverse benchmark. Leave false in deployments.
 	HeadRestart bool
+	// NoFuse disables the batch-fused execution path (one amortized SMR
+	// bracket per request batch) and serves every op under its own
+	// BeginOp/EndOp bracket — the per-op-bracket baseline arm of the
+	// batch benchmark. Leave false in deployments.
+	NoFuse bool
 }
 
 // Config assembles a store.
@@ -280,8 +285,12 @@ func newShard(id int, spec ShardSpec, cfg Config) (*shard, error) {
 		set:     set,
 		maint:   spec.Workers,
 		ordered: !info.Partitioned,
+		rec:     cfg.Recorder,
 		reqs:    make(chan *request, cfg.QueueDepth),
 		stripes: make([]opStripe, spec.Workers),
+	}
+	if !spec.NoFuse {
+		sh.batch, _ = set.(ds.BatchSet)
 	}
 	for w := 0; w < spec.Workers; w++ {
 		sh.wg.Add(1)
@@ -322,6 +331,21 @@ func (st *Store) shardOf(key int64) int {
 	return int(mix64(uint64(key)) % uint64(len(st.shards)))
 }
 
+// doSpine is the pooled partition state behind Do/DoInto: the flat
+// two-pass partition arrays (the exec leg-compilation treatment applied
+// to the store's own routing) and the WaitGroup, embedded so the
+// completion handshake allocates nothing either. One spine serves one
+// call, then returns to the pool.
+type doSpine struct {
+	wg    sync.WaitGroup
+	count []int
+	offs  []int
+	ops   []Op
+	idx   []int
+}
+
+var spinePool = sync.Pool{New: func() any { return new(doSpine) }}
+
 // Do executes a batch: operations are grouped per shard, each group is
 // submitted as one message, and the call returns once every shard has
 // filled in its results (res[i] answers ops[i]). Operations routed to a
@@ -332,36 +356,116 @@ func (st *Store) Do(ops []Op) ([]Result, error) {
 		return nil, nil
 	}
 	res := make([]Result, len(ops))
-	perOps := make([][]Op, len(st.shards))
-	perIdx := make([][]int, len(st.shards))
-	for i, op := range ops {
-		s := st.shardOf(op.Key)
-		perOps[s] = append(perOps[s], op)
-		perIdx[s] = append(perIdx[s], i)
+	if err := st.DoInto(ops, res); err != nil {
+		return nil, err
 	}
-	var wg sync.WaitGroup
+	return res, nil
+}
+
+// DoInto is Do with a caller-provided result slice (len(res) must be at
+// least len(ops); res[i] answers ops[i]). With the envelope pool and
+// the pooled partition spine this is the zero-alloc steady-state point
+// of the service hot path: a caller that reuses res allocates nothing
+// per request.
+func (st *Store) DoInto(ops []Op, res []Result) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	if len(res) < len(ops) {
+		return fmt.Errorf("store: result slice too short (%d < %d)", len(res), len(ops))
+	}
+	ns := len(st.shards)
+	sp := spinePool.Get().(*doSpine)
+	var opsFlat []Op
+	var idxFlat []int
+	var offs []int
+	if ns == 1 {
+		// Single shard: no partition needed, the batch travels as-is.
+		opsFlat = ops
+	} else {
+		// Flat two-pass partition: count per shard, prefix into offsets,
+		// fill contiguous per-shard slices. mix64 is cheaper than a
+		// cached shard-id array would be.
+		if cap(sp.count) < ns {
+			sp.count = make([]int, ns)
+			sp.offs = make([]int, ns)
+		}
+		count := sp.count[:ns]
+		offs = sp.offs[:ns]
+		for s := range count {
+			count[s] = 0
+		}
+		for _, op := range ops {
+			count[st.shardOf(op.Key)]++
+		}
+		sum := 0
+		for s, n := range count {
+			offs[s] = sum
+			sum += n
+		}
+		if cap(sp.ops) < len(ops) {
+			sp.ops = make([]Op, 0, 2*len(ops))
+			sp.idx = make([]int, 0, 2*len(ops))
+		}
+		opsFlat = sp.ops[:len(ops)]
+		idxFlat = sp.idx[:len(ops)]
+		for i, op := range ops {
+			s := st.shardOf(op.Key)
+			opsFlat[offs[s]] = op
+			idxFlat[offs[s]] = i
+			offs[s]++
+		}
+		// offs[s] now marks the end of shard s's segment.
+	}
 	st.mu.RLock()
 	if st.closed {
 		st.mu.RUnlock()
-		return nil, ErrClosed
+		spinePool.Put(sp)
+		return ErrClosed
 	}
-	for s, group := range perOps {
-		if len(group) == 0 {
-			continue
-		}
-		sh := st.shards[s]
+	if ns == 1 {
+		sh := st.shards[0]
 		if sh.closed {
-			for _, i := range perIdx[s] {
+			st.mu.RUnlock()
+			spinePool.Put(sp)
+			for i := range ops {
 				res[i] = Result{Err: ErrShardClosed}
 			}
-			continue
+			return nil
 		}
-		wg.Add(1)
-		sh.reqs <- &request{ops: group, res: res, idx: perIdx[s], wg: &wg}
+		sp.wg.Add(1)
+		req := newRequest()
+		req.ops, req.res, req.wg = opsFlat, res, &sp.wg
+		sh.reqs <- req
+		st.mu.RUnlock()
+	} else {
+		lo := 0
+		for s := 0; s < ns; s++ {
+			hi := offs[s]
+			if hi == lo {
+				continue
+			}
+			sh := st.shards[s]
+			if sh.closed {
+				for _, i := range idxFlat[lo:hi] {
+					res[i] = Result{Err: ErrShardClosed}
+				}
+				lo = hi
+				continue
+			}
+			sp.wg.Add(1)
+			req := newRequest()
+			req.ops, req.res, req.idx, req.wg = opsFlat[lo:hi], res, idxFlat[lo:hi], &sp.wg
+			sh.reqs <- req
+			lo = hi
+		}
+		st.mu.RUnlock()
 	}
-	st.mu.RUnlock()
-	wg.Wait()
-	return res, nil
+	sp.wg.Wait()
+	// Every worker stripped and pooled its envelope before Done, so the
+	// flat arrays are no longer referenced and the spine can be reused.
+	spinePool.Put(sp)
+	return nil
 }
 
 // DoShard executes one batch entirely on shard s — the scatter-leg
@@ -380,10 +484,6 @@ func (st *Store) DoShard(s int, ops []Op) ([]Result, error) {
 		return nil, nil
 	}
 	res := make([]Result, len(ops))
-	idx := make([]int, len(ops))
-	for i := range idx {
-		idx[i] = i
-	}
 	var wg sync.WaitGroup
 	st.mu.RLock()
 	if st.closed {
@@ -396,7 +496,9 @@ func (st *Store) DoShard(s int, ops []Op) ([]Result, error) {
 		return nil, ErrShardClosed
 	}
 	wg.Add(1)
-	sh.reqs <- &request{ops: ops, res: res, idx: idx, wg: &wg}
+	req := newRequest()
+	req.ops, req.res, req.wg = ops, res, &wg
+	sh.reqs <- req
 	st.mu.RUnlock()
 	wg.Wait()
 	return res, nil
@@ -433,7 +535,9 @@ func (st *Store) ScanShard(s int, lo, hi int64, limit int, countOnly bool) ([]in
 		return nil, 0, ErrShardClosed
 	}
 	wg.Add(1)
-	sh.reqs <- &request{scan: sc, wg: &wg}
+	req := newRequest()
+	req.scan, req.wg = sc, &wg
+	sh.reqs <- req
 	st.mu.RUnlock()
 	wg.Wait()
 	if sc.err != nil {
@@ -471,10 +575,14 @@ func (st *Store) DoShardAsync(s int, ops []Op, res []Result, idx []int, done fun
 	if sh.closed {
 		return false, ErrShardClosed
 	}
+	req := newRequest()
+	req.ops, req.res, req.idx, req.done = ops, res, idx, done
 	select {
-	case sh.reqs <- &request{ops: ops, res: res, idx: idx, done: done}:
+	case sh.reqs <- req:
 		return true, nil
 	default:
+		*req = request{}
+		reqPool.Put(req)
 		return false, nil
 	}
 }
@@ -503,10 +611,14 @@ func (st *Store) ScanShardAsync(s int, lo, hi int64, limit int, countOnly bool, 
 	if sh.closed {
 		return false, ErrShardClosed
 	}
+	req := newRequest()
+	req.scan, req.done = sc, func() { done(sc.keys, sc.count, sc.err) }
 	select {
-	case sh.reqs <- &request{scan: sc, done: func() { done(sc.keys, sc.count, sc.err) }}:
+	case sh.reqs <- req:
 		return true, nil
 	default:
+		*req = request{}
+		reqPool.Put(req)
 		return false, nil
 	}
 }

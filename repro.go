@@ -445,6 +445,69 @@ func WriteTraverseArtifact(w io.Writer, res TraverseResult) error {
 	return bench.WriteTraverseReport(w, res)
 }
 
+// FusedWindow is the amortized SMR bracket: BeginFusedOps announces the
+// bracket once, Step renews it every DefaultFusedWindow ops (reporting
+// true when the caller must invalidate cached position), EndOps closes
+// it. Between renewals a window pins at most one reclamation epoch — the
+// same bound the per-op bracket gives, paid once per window instead of
+// once per operation (see internal/smr).
+type FusedWindow = smr.Window
+
+// DefaultFusedWindow is the re-bracket cadence Step applies when
+// BeginFusedOps is given a non-positive window.
+const DefaultFusedWindow = smr.DefaultWindow
+
+// BeginFusedOps opens an amortized bracket on scheme s for thread tid,
+// renewing every k ops (k <= 0 selects DefaultFusedWindow).
+func BeginFusedOps(s Scheme, tid, k int) FusedWindow { return smr.BeginOps(s, tid, k) }
+
+// BatchSet is the optional fused-execution surface a registry set
+// structure implements: ApplyBatch serves a key-sorted run of point ops
+// under one amortized bracket, reusing validated list position across
+// consecutive ops (see internal/ds).
+type BatchSet = ds.BatchSet
+
+// BatchSetOp is one fused point operation; BatchSetResult its outcome.
+type BatchSetOp = ds.BatchOp
+
+// BatchSetResult is one fused point operation's outcome.
+type BatchSetResult = ds.BatchResult
+
+// BatchSetKind selects a fused op's verb.
+type BatchSetKind = ds.BatchKind
+
+// Fused op verbs, mirroring the workload encoding.
+const (
+	BatchContains = ds.BatchContains
+	BatchInsert   = ds.BatchInsert
+	BatchDelete   = ds.BatchDelete
+)
+
+// RecycleScanKeys returns a scan-result key buffer to the store's pool
+// once the caller is done with it, keeping repeated range traffic off
+// the allocator (see internal/store).
+func RecycleScanKeys(keys []int64) { store.RecycleScanKeys(keys) }
+
+// BatchConfig sizes the batch-fusion experiment: fused vs per-op-bracket
+// arms across schemes and batch sizes, the zero-alloc spine count, and
+// the parked-worker backlog comparison.
+type BatchConfig = bench.BatchConfig
+
+// BatchResult is the experiment outcome: per-arm rows, the allocs/call
+// measurement, the backlog pairs, and the headline verdicts (fused beats
+// serial, zero-alloc spine, backlog bounded).
+type BatchResult = bench.BatchResult
+
+// RunBatch runs the batch-fusion experiment (the erabench -exp batch
+// experiment is a thin wrapper over this).
+func RunBatch(cfg BatchConfig) (BatchResult, error) { return bench.RunBatch(cfg) }
+
+// WriteBatchArtifact emits the experiment as the machine-readable
+// BENCH_batch.json artifact format.
+func WriteBatchArtifact(w io.Writer, res BatchResult) error {
+	return bench.WriteBatchReport(w, res)
+}
+
 // RobustnessVerdict audits a sampled backlog series against a declared
 // robustness class (see internal/telemetry): points are fitted from
 // sampler-relative elapsed time `from` onward against the budget of a
